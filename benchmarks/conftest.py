@@ -1,0 +1,45 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+The session-scoped :func:`ctx` fixture caches pre-trained artifacts on disk
+(``.cache/repro-artifacts``), so the first benchmark run pays for
+pre-training once and later runs start from the cached weights.
+
+Each benchmark writes its reproduced table to ``benchmarks/results/`` and
+prints it, so ``pytest benchmarks/ --benchmark-only -rA`` (or the saved
+files) shows the paper-style rows next to the timing table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(pretrain_steps=400)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a TableResult under benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, result) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(str(result) + "\n")
+        print(f"\n{result}\n[saved to {path}]")
+
+    return _save
+
+
+def mean_of(grid_cells) -> float:
+    """Average MethodScore means over an iterable of cells."""
+    cells = list(grid_cells)
+    return sum(c.mean for c in cells) / len(cells)

@@ -1,0 +1,56 @@
+"""Design-choice ablations from the paper's Further Discussion.
+
+Not a numbered table/figure — these defend the defaults the paper picks:
+cosine retrieval, LFU eviction and the MLP reconstruction scorer should be
+competitive with (not dominated by) the alternatives the paper says are
+swappable.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    ablation_cache_policy,
+    ablation_knn_metric,
+    ablation_recon_scorer,
+)
+
+
+def _aggregate(data, option):
+    return float(np.mean([data[t][w][option].mean
+                          for t in data for w in data[t]]))
+
+
+def test_ablation_knn_metric(benchmark, ctx, save_result):
+    result = benchmark.pedantic(lambda: ablation_knn_metric(ctx),
+                                rounds=1, iterations=1)
+    save_result("ablation_knn_metric", result)
+    cosine = _aggregate(result.data, "cosine")
+    for metric in ("euclidean", "manhattan"):
+        other = _aggregate(result.data, metric)
+        assert cosine > other - 0.05, (
+            f"cosine ({cosine:.3f}) should be competitive with {metric} "
+            f"({other:.3f})")
+
+
+def test_ablation_cache_policy(benchmark, ctx, save_result):
+    result = benchmark.pedantic(lambda: ablation_cache_policy(ctx),
+                                rounds=1, iterations=1)
+    save_result("ablation_cache_policy", result)
+    lfu = _aggregate(result.data, "lfu")
+    for policy in ("lru", "fifo"):
+        other = _aggregate(result.data, policy)
+        assert lfu > other - 0.05, (
+            f"LFU ({lfu:.3f}) should be competitive with {policy} "
+            f"({other:.3f})")
+
+
+def test_ablation_recon_scorer(benchmark, ctx, save_result):
+    result = benchmark.pedantic(lambda: ablation_recon_scorer(ctx),
+                                rounds=1, iterations=1)
+    save_result("ablation_recon_scorer", result)
+    mlp = _aggregate(result.data, "mlp")
+    for scorer in ("bilinear", "cosine_gate"):
+        other = _aggregate(result.data, scorer)
+        assert mlp > other - 0.08, (
+            f"MLP scorer ({mlp:.3f}) should be competitive with {scorer} "
+            f"({other:.3f})")

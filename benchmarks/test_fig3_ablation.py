@@ -1,0 +1,36 @@
+"""Fig. 3 benchmark: stage ablations on FB15K-237 and NELL.
+
+Shape claims (paper Fig. 3): the full model is the best variant on average;
+every single-stage removal costs accuracy (kNN removal being the largest
+hit in our reproduction, consistent with the paper's discussion that the
+retrieval is where most of the adaptive gain lives).
+"""
+
+import numpy as np
+
+from repro.experiments import ABLATIONS, fig3_ablation
+
+WAYS = (5, 10, 20, 40)
+
+
+def _aggregate(data, label):
+    values = [data[t][w][label].mean for t in data for w in data[t]]
+    return float(np.mean(values))
+
+
+def test_fig3_ablation(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: fig3_ablation(ctx, ways_list=WAYS), rounds=1, iterations=1)
+    save_result("fig3_ablation", result)
+    data = result.data
+
+    full = _aggregate(data, "Full")
+    for label in ABLATIONS:
+        if label == "Full":
+            continue
+        ablated = _aggregate(data, label)
+        assert full > ablated - 0.02, (
+            f"removing a stage should not help: Full={full:.3f} "
+            f"{label}={ablated:.3f}")
+    # At least the retrieval ablation must show a clear gap.
+    assert full > _aggregate(data, "w/o kNN")

@@ -1,0 +1,25 @@
+"""Fig. 4 benchmark: GraphSAGE vs GAT as the data-graph encoder.
+
+Shape claim (paper Fig. 4): the GraphSAGE-based generator is at least as
+good as the GAT variant (the paper attributes this to SAGE scaling better
+on large pre-training graphs).
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_gnn_architectures
+
+WAYS = (5, 10, 20, 40)
+
+
+def test_fig4_gnn_architectures(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: fig4_gnn_architectures(ctx, ways_list=WAYS), rounds=1,
+        iterations=1)
+    save_result("fig4_gnn_arch", result)
+    data = result.data
+
+    sage = np.mean([data[t][w]["SAGE"].mean for t in data for w in data[t]])
+    gat = np.mean([data[t][w]["GAT"].mean for t in data for w in data[t]])
+    assert sage > gat - 0.03, (
+        f"SAGE generator ({sage:.3f}) should not trail GAT ({gat:.3f})")

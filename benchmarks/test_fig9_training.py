@@ -1,0 +1,32 @@
+"""Fig. 9 benchmark: pre-training convergence on Wiki.
+
+Shape claims (paper Fig. 9): GraphPrompter's added reconstruction and
+selection layers do not hurt convergence — its loss falls like Prodigy's
+and ends in the same range, at comparable training accuracy.
+"""
+
+import numpy as np
+
+from repro.experiments import fig9_training_curves
+
+
+def test_fig9_training_curves(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: fig9_training_curves(ctx), rounds=1, iterations=1)
+    save_result("fig9_training", result)
+
+    ours = result.data["ours"]
+    prodigy = result.data["prodigy"]
+    # Both converge: last-quarter mean loss is clearly below the first
+    # logged loss.
+    quarter = max(1, len(ours.losses) // 4)
+    ours_tail = float(np.mean(ours.losses[-quarter:]))
+    prodigy_tail = float(np.mean(prodigy.losses[-quarter:]))
+    assert ours_tail < ours.losses[0]
+    assert prodigy_tail < prodigy.losses[0]
+    # Comparable convergence (paper: curves overlap).
+    assert ours_tail < prodigy_tail * 1.5 + 0.5
+    # Comparable or better final training accuracy.
+    tail_acc = float(np.mean(ours.accuracies[-quarter:]))
+    prodigy_acc = float(np.mean(prodigy.accuracies[-quarter:]))
+    assert tail_acc > prodigy_acc - 0.15

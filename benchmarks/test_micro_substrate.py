@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper table — these time the primitives every experiment is built
+from (encoder forward, scatter ops, LFU cache, selector, sampler) so
+performance regressions in the substrate are visible separately from the
+science benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import LFUCache
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    PromptGenerator,
+    PromptSelector,
+    sample_episode,
+)
+from repro.datasets import load_dataset
+from repro.gnn import SubgraphBatch, scatter_sum, segment_softmax
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def fb():
+    return load_dataset("fb15k237")
+
+
+@pytest.fixture(scope="module")
+def encoder_setup(fb):
+    config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16)
+    model = GraphPrompterModel(fb.graph.feature_dim, fb.graph.num_relations,
+                               config)
+    model.eval()
+    generator = PromptGenerator(fb.graph, config, rng=0)
+    episode = sample_episode(fb, num_ways=10, num_queries=8, rng=0)
+    batch = SubgraphBatch.from_subgraphs(
+        generator.subgraphs_for(episode.candidates))
+    return model, batch
+
+
+def test_bench_encoder_forward(benchmark, encoder_setup):
+    model, batch = encoder_setup
+    out = benchmark(lambda: model.encode_batch(batch))
+    assert out.shape[0] == batch.num_graphs
+
+
+def test_bench_scatter_sum(benchmark):
+    rng = np.random.default_rng(0)
+    values = Tensor(rng.normal(size=(5000, 32)))
+    index = rng.integers(0, 500, size=5000)
+    out = benchmark(lambda: scatter_sum(values, index, 500))
+    assert out.shape == (500, 32)
+
+
+def test_bench_segment_softmax(benchmark):
+    rng = np.random.default_rng(1)
+    scores = Tensor(rng.normal(size=5000))
+    index = rng.integers(0, 500, size=5000)
+    out = benchmark(lambda: segment_softmax(scores, index, 500))
+    assert out.shape == (5000,)
+
+
+def test_bench_lfu_cache(benchmark):
+    def run():
+        cache = LFUCache(64)
+        for i in range(1000):
+            cache.put(i % 128, i)
+            cache.get((i * 7) % 128)
+        return cache
+
+    cache = benchmark(run)
+    assert len(cache) == 64
+
+
+def test_bench_subgraph_sampling(benchmark, fb):
+    config = GraphPrompterConfig(max_subgraph_nodes=16)
+    generator = PromptGenerator(fb.graph, config, rng=0)
+    episode = sample_episode(fb, num_ways=5, num_queries=4, rng=1)
+    subs = benchmark(lambda: generator.subgraphs_for(episode.candidates))
+    assert len(subs) == len(episode.candidates)
+
+
+def test_bench_prompt_selection(benchmark):
+    rng = np.random.default_rng(2)
+    config = GraphPrompterConfig()
+    selector = PromptSelector(config, rng=0)
+    candidates = rng.normal(size=(400, 24))
+    labels = np.repeat(np.arange(40), 10)
+    queries = rng.normal(size=(8, 24))
+    selected = benchmark(
+        lambda: selector.select(candidates, rng.random(400), queries,
+                                rng.random(8), labels, 3))
+    assert len(selected) == 120

@@ -1,0 +1,20 @@
+"""Table II benchmark: dataset statistics of the simulated suite."""
+
+
+from repro.experiments import table2_dataset_statistics
+
+
+def test_table2_dataset_statistics(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: table2_dataset_statistics(ctx), rounds=1, iterations=1)
+    save_result("table2_datasets", result)
+
+    by_name = {row["dataset"]: row for row in result.data["rows"]}
+    # The downstream class vocabularies match the paper exactly.
+    assert by_name["arxiv-sim"]["classes"] == 40
+    assert by_name["conceptnet-sim"]["classes"] == 14
+    assert by_name["fb15k237-sim"]["classes"] == 200
+    assert by_name["nell-sim"]["classes"] == 291
+    # Pre-training graphs are the largest, as in the paper.
+    assert by_name["mag240m-sim"]["nodes"] >= by_name["arxiv-sim"]["nodes"]
+    assert by_name["wiki-sim"]["nodes"] >= by_name["conceptnet-sim"]["nodes"]

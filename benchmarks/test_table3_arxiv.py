@@ -1,0 +1,36 @@
+"""Table III benchmark: arXiv in-context accuracy vs number of ways.
+
+Shape claims (paper Table III):
+  * GraphPrompter beats Prodigy on average across way counts;
+  * pre-trained in-context methods beat NoPretrain everywhere;
+  * accuracy decays as the number of ways grows.
+"""
+
+from conftest import mean_of
+
+from repro.experiments import table3_arxiv
+
+WAYS = (3, 5, 10, 20, 40)
+METHODS = ("NoPretrain", "Contrastive", "Finetune", "Prodigy", "ProG",
+           "OFA", "GraphPrompter")
+
+
+def test_table3_arxiv(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: table3_arxiv(ctx, ways_list=WAYS, method_names=METHODS),
+        rounds=1, iterations=1)
+    save_result("table3_arxiv", result)
+    grid = result.data["grid"]
+
+    ours = mean_of(grid[w]["GraphPrompter"] for w in WAYS)
+    prodigy = mean_of(grid[w]["Prodigy"] for w in WAYS)
+    no_pretrain = mean_of(grid[w]["NoPretrain"] for w in WAYS)
+
+    assert ours > prodigy, (
+        f"GraphPrompter ({ours:.3f}) must beat Prodigy ({prodigy:.3f})")
+    for name in ("Contrastive", "Finetune", "Prodigy", "GraphPrompter"):
+        trained = mean_of(grid[w][name] for w in WAYS)
+        assert trained > no_pretrain, f"{name} should beat NoPretrain"
+    # Monotone-ish decay: the hardest cell is worse than the easiest.
+    assert grid[40]["GraphPrompter"].mean < grid[3]["GraphPrompter"].mean
+    assert grid[40]["Prodigy"].mean < grid[3]["Prodigy"].mean

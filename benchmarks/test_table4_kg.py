@@ -1,0 +1,40 @@
+"""Table IV benchmark: KG edge classification (ConceptNet / FB15K-237 / NELL).
+
+Shape claims (paper Table IV): GraphPrompter posts the best average across
+datasets and way counts; all pre-trained methods beat NoPretrain; accuracy
+decays with ways on every dataset.
+"""
+
+from conftest import mean_of
+
+from repro.experiments import table4_kg
+
+METHODS = ("NoPretrain", "Contrastive", "Finetune", "Prodigy", "ProG",
+           "OFA", "GraphPrompter")
+
+
+def _all_cells(data, name):
+    for target, grid in data.items():
+        for ways in grid:
+            yield grid[ways][name]
+
+
+def test_table4_kg(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: table4_kg(ctx, method_names=METHODS), rounds=1, iterations=1)
+    save_result("table4_kg", result)
+    data = result.data
+
+    ours = mean_of(_all_cells(data, "GraphPrompter"))
+    prodigy = mean_of(_all_cells(data, "Prodigy"))
+    no_pretrain = mean_of(_all_cells(data, "NoPretrain"))
+    assert ours > prodigy, (
+        f"GraphPrompter ({ours:.3f}) must beat Prodigy ({prodigy:.3f})")
+    assert prodigy > no_pretrain
+    assert ours > mean_of(_all_cells(data, "Contrastive"))
+
+    # Way-decay inside FB15K-237 and NELL.
+    for target in ("fb15k237", "nell"):
+        grid = data[target]
+        assert grid[40]["GraphPrompter"].mean < grid[5]["GraphPrompter"].mean
+        assert grid[40]["Prodigy"].mean < grid[5]["Prodigy"].mean

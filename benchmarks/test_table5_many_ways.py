@@ -1,0 +1,32 @@
+"""Table V benchmark: 50–100-way episodes on FB15K-237 and NELL.
+
+Shape claims (paper Table V): the GraphPrompter margin over Prodigy
+persists in the many-class regime, ProG stays unstable/behind, and
+accuracy declines as the class count grows.
+"""
+
+from conftest import mean_of
+
+from repro.experiments import table5_many_ways
+
+WAYS = (50, 60, 80, 100)
+
+
+def test_table5_many_ways(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: table5_many_ways(ctx, ways_list=WAYS), rounds=1,
+        iterations=1)
+    save_result("table5_many_ways", result)
+
+    for target in ("fb15k237", "nell"):
+        grid = result.data[target]
+        ours = mean_of(grid[w]["GraphPrompter"] for w in WAYS)
+        prodigy = mean_of(grid[w]["Prodigy"] for w in WAYS)
+        prog = mean_of(grid[w]["ProG"] for w in WAYS)
+        assert ours > prodigy, (
+            f"{target}: GraphPrompter ({ours:.3f}) must beat Prodigy "
+            f"({prodigy:.3f}) at 50-100 ways")
+        assert ours > prog, f"{target}: GraphPrompter must beat ProG"
+        # More classes → harder.
+        assert grid[100]["GraphPrompter"].mean < grid[50]["GraphPrompter"].mean
+        assert grid[100]["Prodigy"].mean < grid[50]["Prodigy"].mean

@@ -1,0 +1,32 @@
+"""Table VI benchmark: OFA(-joint-lr analogue) vs GraphPrompter.
+
+Shape claims (paper Table VI): GraphPrompter is better *and more stable*
+(smaller std) than the jointly-trained low-resource OFA model under random
+category selection.
+"""
+
+import numpy as np
+from conftest import mean_of
+
+from repro.experiments import table6_ofa_comparison
+
+
+def test_table6_ofa(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: table6_ofa_comparison(ctx), rounds=1, iterations=1)
+    save_result("table6_ofa", result)
+
+    for target in ("arxiv", "fb15k237"):
+        grid = result.data[target]
+        ways = sorted(grid)
+        ours = mean_of(grid[w]["GraphPrompter"] for w in ways)
+        ofa = mean_of(grid[w]["OFA"] for w in ways)
+        assert ours > ofa, (
+            f"{target}: GraphPrompter ({ours:.3f}) must beat OFA "
+            f"({ofa:.3f})")
+    # Stability: average std across all cells is no worse for ours.
+    all_ours_std = np.mean([grid[w]["GraphPrompter"].std
+                            for grid in result.data.values() for w in grid])
+    all_ofa_std = np.mean([grid[w]["OFA"].std
+                           for grid in result.data.values() for w in grid])
+    assert all_ours_std <= all_ofa_std + 0.05

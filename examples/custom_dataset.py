@@ -1,0 +1,111 @@
+"""Bring your own graph: plugging a custom dataset into GraphPrompter.
+
+Shows the integration surface a downstream user needs:
+
+1. build a :class:`repro.graph.Graph` from plain edge arrays + features,
+2. wrap it in a :class:`repro.datasets.Dataset` (node or edge task),
+3. reuse a model pre-trained elsewhere (weight shapes are dataset-
+   independent) and run in-context episodes on the new graph.
+
+The toy graph here is a tiny "movie" knowledge graph in the spirit of the
+paper's Fig. 10 walk-through (actors, films, countries).
+
+Run:  python examples/custom_dataset.py      (~30 s)
+"""
+
+import numpy as np
+
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    GraphPrompterPipeline,
+    PretrainConfig,
+    Pretrainer,
+    sample_episode,
+)
+from repro.datasets import Dataset, EDGE_TASK, load_dataset
+from repro.datasets.synthetic import semantic_basis
+from repro.graph import Graph
+
+
+def build_movie_graph(num_people=120, num_films=60, num_countries=12,
+                      feature_dim=32, rng_seed=3) -> Graph:
+    """A typed KG: person -[acted_in]-> film, person -[citizen_of]-> country,
+    film -[produced_in]-> country, person -[collaborates]-> person."""
+    rng = np.random.default_rng(rng_seed)
+    total = num_people + num_films + num_countries
+    people = np.arange(num_people)
+    films = num_people + np.arange(num_films)
+    countries = num_people + num_films + np.arange(num_countries)
+
+    # Entity features live in the shared semantic space so a pre-trained
+    # model can read them (in a real deployment: the same text encoder).
+    basis = semantic_basis(feature_dim)
+    type_protos = basis[:3]
+    features = np.zeros((total, feature_dim))
+    features[people] = type_protos[0]
+    features[films] = type_protos[1]
+    features[countries] = type_protos[2]
+    features += 0.6 * rng.normal(size=features.shape)
+
+    src, dst, rel = [], [], []
+    for person in people:
+        for film in rng.choice(films, size=2, replace=False):
+            src.append(person), dst.append(film), rel.append(0)   # acted_in
+        src.append(person)
+        dst.append(int(rng.choice(countries)))
+        rel.append(1)                                             # citizen_of
+        src.append(person)
+        dst.append(int(rng.choice(people)))
+        rel.append(3)                                             # collaborates
+    for film in films:
+        src.append(film)
+        dst.append(int(rng.choice(countries)))
+        rel.append(2)                                             # produced_in
+
+    relation_features = basis[3:7] * 1.0  # one semantic direction per relation
+    return Graph(
+        total, np.array(src), np.array(dst), rel=np.array(rel),
+        num_relations=4,
+        node_features=features,
+        relation_features=relation_features,
+        name="movie-kg",
+    )
+
+
+def main():
+    # A model pre-trained on the Wiki analogue — in practice you would ship
+    # these weights with your application.
+    config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16)
+    wiki = load_dataset("wiki")
+    print("pre-training reference model on", wiki.name, "…")
+    pretrained = GraphPrompterModel(wiki.graph.feature_dim,
+                                    wiki.graph.num_relations, config)
+    Pretrainer(pretrained, wiki, PretrainConfig(steps=150, num_ways=6),
+               rng=0).train()
+
+    # Your own graph + task.
+    movie_graph = build_movie_graph()
+    movies = Dataset(movie_graph, EDGE_TASK, name="movies", rng=0)
+    print(f"custom dataset: {movies}")
+
+    # Transfer: same weight shapes, zero gradient updates.
+    model = GraphPrompterModel(movie_graph.feature_dim,
+                               movie_graph.num_relations, config)
+    model.load_state_dict(pretrained.state_dict())
+
+    episode = sample_episode(movies, num_ways=4,
+                             num_candidates_per_class=10,
+                             num_queries=40, rng=9)
+    result = GraphPrompterPipeline(model, movies, rng=10).run_episode(
+        episode, shots=3)
+    relation_names = ["acted_in", "citizen_of", "produced_in",
+                      "collaborates"]
+    picked = [relation_names[c] for c in episode.way_classes]
+    print(f"4-way relation classification over {picked}")
+    print(f"in-context accuracy: {result.accuracy:.3f} "
+          f"(chance = {1 / episode.num_ways:.3f})")
+
+
+if __name__ == "__main__":
+    main()

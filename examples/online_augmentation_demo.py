@@ -1,0 +1,91 @@
+"""Prompt Augmenter deep dive: watching the LFU pseudo-label cache work.
+
+Streams queries through the pipeline batch by batch and prints the cache
+state after each step — which pseudo-labelled test samples are held, their
+LFU frequencies, and how accuracy compares with the Augmenter disabled
+(the Sec. IV-C mechanism made visible).
+
+Run:  python examples/online_augmentation_demo.py      (~1 min)
+"""
+
+import numpy as np
+
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    GraphPrompterPipeline,
+    PretrainConfig,
+    Pretrainer,
+    sample_episode,
+)
+from repro.datasets import load_dataset
+
+
+def run_with_cache_trace(model, dataset, episode, shots=3, batch=8):
+    """Replay run_episode batch-by-batch, printing the cache each step."""
+    pipeline = GraphPrompterPipeline(model, dataset, rng=11)
+    correct = 0
+    seen = 0
+    # Process the episode in slices so we can inspect the cache between
+    # batches; reset_cache=False keeps the LFU state across slices.
+    for start in range(0, episode.num_queries, batch):
+        sub_episode = type(episode)(
+            way_classes=episode.way_classes,
+            candidates=episode.candidates,
+            candidate_labels=episode.candidate_labels,
+            queries=episode.queries[start:start + batch],
+            query_labels=episode.query_labels[start:start + batch],
+        )
+        result = pipeline.run_episode(sub_episode, shots=shots,
+                                      query_batch_size=batch,
+                                      reset_cache=(start == 0))
+        correct += int((result.predictions == result.labels).sum())
+        seen += result.num_queries
+        entries = [
+            (key, entry.pseudo_label, round(entry.confidence, 2),
+             pipeline.augmenter.cache.frequency(key))
+            for key, entry in pipeline.augmenter.cache.items()
+        ]
+        print(f"  after queries {start + 1:3d}-{start + result.num_queries:3d}: "
+              f"running acc {correct / seen:.3f}  "
+              f"cache [(id, pseudo-label, conf, freq)] = {entries}")
+    return correct / seen
+
+
+def main():
+    config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16,
+                                 cache_size=3)
+    wiki = load_dataset("wiki")
+    nell = load_dataset("nell")
+
+    print("pre-training on", wiki.name, "…")
+    model = GraphPrompterModel(wiki.graph.feature_dim,
+                               wiki.graph.num_relations, config)
+    Pretrainer(model, wiki, PretrainConfig(steps=200, num_ways=8),
+               rng=0).train()
+
+    target_model = GraphPrompterModel(nell.graph.feature_dim,
+                                      nell.graph.num_relations, config)
+    target_model.load_state_dict(model.state_dict())
+
+    episode = sample_episode(nell, num_ways=10, num_queries=48, rng=5)
+    print(f"\nstreaming {episode.num_queries} queries "
+          f"({episode.num_ways}-way) with the Augmenter cache (c=3):")
+    with_cache = run_with_cache_trace(target_model, nell, episode)
+
+    no_aug_model = GraphPrompterModel(
+        nell.graph.feature_dim, nell.graph.num_relations,
+        config.ablate(use_augmenter=False))
+    no_aug_model.load_state_dict(model.state_dict())
+    result = GraphPrompterPipeline(no_aug_model, nell, rng=11).run_episode(
+        episode, shots=3)
+
+    print(f"\nwith Augmenter:    {with_cache:.3f}")
+    print(f"without Augmenter: {result.accuracy:.3f}")
+    print("(single-episode comparison — the augmenter's benefit depends on "
+          "pseudo-label quality;\n averaged gains appear in "
+          "benchmarks/test_fig3_ablation.py and test_fig5_cache.py)")
+
+
+if __name__ == "__main__":
+    main()

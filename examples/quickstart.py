@@ -1,0 +1,96 @@
+"""Quickstart: pre-train GraphPrompter and run in-context inference.
+
+The smallest end-to-end tour of the public API:
+
+1. build a synthetic knowledge graph (a stand-in for the paper's Wiki),
+2. pre-train the model with Neighbor Matching + Multi-Task (Alg. 1),
+3. sample an m-way k-shot episode on a *different* graph,
+4. run the three-stage pipeline (Alg. 2) and inspect the result.
+
+Run:  python examples/quickstart.py        (~30 s on a laptop CPU)
+"""
+
+import numpy as np
+
+from repro import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    GraphPrompterPipeline,
+    PretrainConfig,
+    Pretrainer,
+    sample_episode,
+)
+from repro.core import prodigy_config
+from repro.datasets import Dataset, EDGE_TASK
+from repro.datasets.synthetic import synthetic_knowledge_graph
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. A source graph to pre-train on and a target graph to adapt to.
+    #    Their relation vocabularies are disjoint — this is the paper's
+    #    cross-domain setting.
+    # ------------------------------------------------------------------
+    source_graph = synthetic_knowledge_graph(
+        num_entities=800, num_relations=30, num_edges=6000, rng=0,
+        name="source-kg")
+    target_graph = synthetic_knowledge_graph(
+        num_entities=600, num_relations=12, num_edges=4000, rng=1,
+        name="target-kg")
+    source = Dataset(source_graph, EDGE_TASK, rng=0)
+    target = Dataset(target_graph, EDGE_TASK, rng=1)
+    print(f"source: {source_graph}")
+    print(f"target: {target_graph}")
+
+    # ------------------------------------------------------------------
+    # 2. Pre-train (Alg. 1).  All GraphPrompter components — encoder,
+    #    reconstruction layers, selection layers, task GNN — are trained
+    #    jointly; nothing is ever updated again after this.
+    # ------------------------------------------------------------------
+    config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16)
+    model = GraphPrompterModel(source_graph.feature_dim,
+                               source_graph.num_relations, config)
+    trainer = Pretrainer(model, source,
+                         PretrainConfig(steps=150, num_ways=6), rng=0)
+    history = trainer.train(
+        lambda step, loss, acc: print(
+            f"  step {step:4d}  loss {loss:.3f}  episode-acc {acc:.2f}"))
+    print(f"pre-trained: final loss {history.final_loss:.3f}")
+
+    # ------------------------------------------------------------------
+    # 3. One 5-way episode on the unseen target graph: 10 labelled
+    #    candidates per class, 40 unlabelled queries.
+    # ------------------------------------------------------------------
+    episode = sample_episode(target, num_ways=5,
+                             num_candidates_per_class=10, num_queries=40,
+                             rng=42)
+    print(f"episode: {episode.num_ways}-way, "
+          f"{len(episode.candidates)} candidates, "
+          f"{episode.num_queries} queries")
+
+    # ------------------------------------------------------------------
+    # 4. In-context inference (Alg. 2) — no gradient updates.  The same
+    #    weights drive both GraphPrompter and the Prodigy baseline; only
+    #    the prompt-optimization stages differ.
+    # ------------------------------------------------------------------
+    target_model = GraphPrompterModel(target_graph.feature_dim,
+                                      target_graph.num_relations, config)
+    target_model.load_state_dict(model.state_dict())
+    ours = GraphPrompterPipeline(target_model, target, rng=7).run_episode(
+        episode, shots=3)
+
+    baseline_model = GraphPrompterModel(target_graph.feature_dim,
+                                        target_graph.num_relations,
+                                        prodigy_config(config))
+    baseline_model.load_state_dict(model.state_dict())
+    prodigy = GraphPrompterPipeline(baseline_model, target,
+                                    rng=7).run_episode(episode, shots=3)
+
+    print(f"GraphPrompter accuracy: {ours.accuracy:.3f} "
+          f"({ours.num_cache_insertions} pseudo-label cache insertions)")
+    print(f"Prodigy accuracy:       {prodigy.accuracy:.3f}")
+    print(f"mean confidence:        {np.mean(ours.confidences):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""GraphPrompter reproduction (ICDE 2025, arXiv:2505.02027).
+
+A from-scratch implementation of multi-stage adaptive prompt optimization
+for graph in-context learning, plus every substrate it needs: a numpy
+autograd engine, GNN layers, synthetic benchmark datasets, baselines and a
+full experiment harness.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced tables and figures.
+"""
+
+from .core import (
+    Episode,
+    EpisodeResult,
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    GraphPrompterPipeline,
+    PretrainConfig,
+    Pretrainer,
+    prodigy_config,
+    sample_episode,
+)
+from .datasets import Dataset, load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphPrompterConfig",
+    "prodigy_config",
+    "GraphPrompterModel",
+    "GraphPrompterPipeline",
+    "Pretrainer",
+    "PretrainConfig",
+    "Episode",
+    "EpisodeResult",
+    "sample_episode",
+    "Dataset",
+    "load_dataset",
+    "__version__",
+]

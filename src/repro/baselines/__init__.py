@@ -1,0 +1,25 @@
+"""Baseline methods from the paper's comparison suite (Sec. V-A3)."""
+
+from .base import class_centroids, encode_datapoints, nearest_centroid_predict
+from .contrastive import ContrastiveBaseline, ContrastiveEncoderTrainer
+from .finetune import FinetuneBaseline
+from .no_pretrain import NoPretrainBaseline
+from .ofa_like import OFALikeBaseline, train_ofa_joint
+from .prodigy import GraphPrompterMethod, PipelineMethod, ProdigyBaseline
+from .prog import ProGBaseline
+
+__all__ = [
+    "NoPretrainBaseline",
+    "ContrastiveBaseline",
+    "ContrastiveEncoderTrainer",
+    "FinetuneBaseline",
+    "ProdigyBaseline",
+    "GraphPrompterMethod",
+    "PipelineMethod",
+    "ProGBaseline",
+    "OFALikeBaseline",
+    "train_ofa_joint",
+    "encode_datapoints",
+    "class_centroids",
+    "nearest_centroid_predict",
+]

@@ -1,0 +1,54 @@
+"""Shared plumbing for baseline methods.
+
+Each baseline implements the :class:`repro.eval.harness.Method` protocol:
+``predict(dataset, episode, shots, rng) -> local labels``.  This module
+provides the common encode-datapoints helper built on the same subgraph
+sampler the core pipeline uses, so all methods see identical inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GraphPrompterConfig
+
+from ..core.prompt_generator import PromptGenerator
+from ..datasets.base import Dataset
+from ..gnn import DataGraphEncoder
+from ..nn import no_grad
+
+__all__ = ["encode_datapoints", "class_centroids", "nearest_centroid_predict"]
+
+
+def encode_datapoints(encoder: DataGraphEncoder, dataset: Dataset,
+                      datapoints: list, config: GraphPrompterConfig,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Sample data graphs for ``datapoints`` and encode them (no gradient)."""
+    generator = PromptGenerator(dataset.graph, config, rng=rng)
+    with no_grad():
+        return encoder.encode_subgraphs(
+            generator.subgraphs_for(datapoints)).data
+
+
+def class_centroids(embeddings: np.ndarray, labels: np.ndarray,
+                    num_ways: int) -> np.ndarray:
+    """Mean embedding per local class."""
+    return np.stack([
+        embeddings[labels == cls].mean(axis=0) for cls in range(num_ways)
+    ])
+
+
+def nearest_centroid_predict(query_embeddings: np.ndarray,
+                             centroids: np.ndarray) -> np.ndarray:
+    """Hard-coded nearest-neighbour classification by cosine similarity.
+
+    This is the Contrastive baseline's decision rule: "we classify the query
+    by comparing its pre-trained embedding against the average embedding of
+    the example inputs for each class" (Sec. V-A3).
+    """
+    def normalize(x):
+        return x / np.maximum(np.linalg.norm(x, axis=-1, keepdims=True),
+                              1e-12)
+
+    sims = normalize(query_embeddings) @ normalize(centroids).T
+    return sims.argmax(axis=1).astype(np.int64)

@@ -1,0 +1,103 @@
+"""Contrastive baseline (GraphCL-style, paper ref [24]).
+
+Self-supervised pre-training: two random-walk views of the same datapoint
+form a positive pair and the InfoNCE loss pulls them together against the
+rest of the batch.  At test time prediction is a hard-coded nearest
+class-mean classifier on the frozen embeddings (Sec. V-A3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GraphPrompterConfig
+from ..core.episodes import Episode
+from ..core.prompt_generator import PromptGenerator
+from ..datasets.base import Dataset
+from ..gnn import DataGraphEncoder
+from ..nn import Adam, clip_grad_norm
+from ..nn import functional as F
+from .base import class_centroids, encode_datapoints, nearest_centroid_predict
+
+__all__ = ["ContrastiveEncoderTrainer", "ContrastiveBaseline"]
+
+
+class ContrastiveEncoderTrainer:
+    """InfoNCE pre-training of a :class:`DataGraphEncoder`."""
+
+    def __init__(self, dataset: Dataset, config: GraphPrompterConfig,
+                 rng: np.random.Generator | int | None = None,
+                 temperature: float = 0.2):
+        self.dataset = dataset
+        self.config = config.validate()
+        self.rng = np.random.default_rng(rng)
+        self.temperature = temperature
+        self.encoder = DataGraphEncoder(
+            feature_dim=dataset.graph.feature_dim,
+            hidden_dim=config.hidden_dim,
+            num_layers=config.num_gnn_layers,
+            conv=config.conv,
+            rng=self.rng,
+        )
+        self.generator = PromptGenerator(dataset.graph, config, rng=self.rng)
+
+    def _sample_datapoints(self, batch_size: int) -> list:
+        ids = self.rng.choice(self.dataset.splits["train"], size=batch_size,
+                              replace=False)
+        return [self.dataset.datapoint(int(i)) for i in ids]
+
+    def train(self, steps: int = 100, batch_size: int = 12,
+              learning_rate: float = 1e-3) -> list[float]:
+        """Run InfoNCE steps; returns the loss trajectory."""
+        optimizer = Adam(self.encoder.parameters(), lr=learning_rate)
+        losses: list[float] = []
+        self.encoder.train()
+        for _ in range(steps):
+            optimizer.zero_grad()
+            datapoints = self._sample_datapoints(batch_size)
+            # Two independently sampled views of every datapoint.
+            view_a = self.generator.subgraphs_for(datapoints)
+            view_b = self.generator.subgraphs_for(datapoints)
+            emb_a = self.encoder.encode_subgraphs(view_a)
+            emb_b = self.encoder.encode_subgraphs(view_b)
+            sims = F.pairwise_cosine(emb_a, emb_b) * (1.0 / self.temperature)
+            targets = np.arange(batch_size)
+            loss = (F.cross_entropy(sims, targets)
+                    + F.cross_entropy(sims.T, targets)) * 0.5
+            loss.backward()
+            clip_grad_norm(self.encoder.parameters(), 5.0)
+            optimizer.step()
+            losses.append(loss.item())
+        self.encoder.eval()
+        return losses
+
+
+class ContrastiveBaseline:
+    """Frozen contrastive encoder + nearest class-mean classifier."""
+
+    name = "Contrastive"
+
+    def __init__(self, encoder: DataGraphEncoder,
+                 config: GraphPrompterConfig):
+        self.encoder = encoder
+        self.config = config
+
+    @classmethod
+    def pretrained(cls, source_dataset: Dataset, config: GraphPrompterConfig,
+                   steps: int = 100,
+                   rng: np.random.Generator | int | None = None
+                   ) -> "ContrastiveBaseline":
+        trainer = ContrastiveEncoderTrainer(source_dataset, config, rng=rng)
+        trainer.train(steps=steps)
+        return cls(trainer.encoder, config)
+
+    def predict(self, dataset: Dataset, episode: Episode, shots: int,
+                rng: np.random.Generator) -> np.ndarray:
+        candidate_emb = encode_datapoints(self.encoder, dataset,
+                                          episode.candidates, self.config,
+                                          rng)
+        query_emb = encode_datapoints(self.encoder, dataset, episode.queries,
+                                      self.config, rng)
+        centroids = class_centroids(candidate_emb, episode.candidate_labels,
+                                    episode.num_ways)
+        return nearest_centroid_predict(query_emb, centroids)

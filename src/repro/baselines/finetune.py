@@ -1,0 +1,60 @@
+"""Finetune baseline (paper ref [23]).
+
+Extends the contrastively pre-trained encoder with a linear classification
+head fitted on the episode's labelled candidates — the "additional linear
+classification head, following common practice" of Sec. V-A3.  Unlike the
+in-context methods this requires per-episode gradient updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GraphPrompterConfig
+from ..core.episodes import Episode
+from ..datasets.base import Dataset
+from ..gnn import DataGraphEncoder
+from ..nn import Adam, Linear, Tensor
+from ..nn import functional as F
+from .base import encode_datapoints
+
+__all__ = ["FinetuneBaseline"]
+
+
+class FinetuneBaseline:
+    """Frozen encoder + per-episode linear head."""
+
+    name = "Finetune"
+
+    def __init__(self, encoder: DataGraphEncoder,
+                 config: GraphPrompterConfig, head_steps: int = 60,
+                 head_lr: float = 5e-2):
+        self.encoder = encoder
+        self.config = config
+        self.head_steps = head_steps
+        self.head_lr = head_lr
+
+    def predict(self, dataset: Dataset, episode: Episode, shots: int,
+                rng: np.random.Generator) -> np.ndarray:
+        candidate_emb = encode_datapoints(self.encoder, dataset,
+                                          episode.candidates, self.config,
+                                          rng)
+        query_emb = encode_datapoints(self.encoder, dataset, episode.queries,
+                                      self.config, rng)
+        head = self._fit_head(candidate_emb, episode.candidate_labels,
+                              episode.num_ways, rng)
+        logits = Tensor(query_emb) @ head.weight + head.bias
+        return logits.data.argmax(axis=1).astype(np.int64)
+
+    def _fit_head(self, embeddings: np.ndarray, labels: np.ndarray,
+                  num_ways: int, rng: np.random.Generator) -> Linear:
+        head = Linear(embeddings.shape[1], num_ways,
+                      rng=np.random.default_rng(int(rng.integers(1 << 31))))
+        optimizer = Adam(head.parameters(), lr=self.head_lr)
+        inputs = Tensor(embeddings)
+        for _ in range(self.head_steps):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(head(inputs), labels)
+            loss.backward()
+            optimizer.step()
+        return head

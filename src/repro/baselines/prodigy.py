@@ -1,0 +1,63 @@
+"""Prodigy baseline (paper ref [3]) and the GraphPrompter method adapter.
+
+Prodigy is GraphPrompter with every optimization stage disabled: random
+k-shot prompt choice per class, unweighted subgraphs and no test-time
+augmentation — which is exactly what :func:`repro.core.prodigy_config`
+produces.  Both adapters wrap the shared :class:`GraphPrompterPipeline` so
+the two methods differ *only* in the stages, mirroring the paper's
+controlled comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GraphPrompterConfig, prodigy_config
+from ..core.episodes import Episode
+from ..core.inference import GraphPrompterPipeline
+from ..core.model import GraphPrompterModel
+from ..datasets.base import Dataset
+
+__all__ = ["PipelineMethod", "ProdigyBaseline", "GraphPrompterMethod"]
+
+
+class PipelineMethod:
+    """Adapter: run a (pre-trained) GraphPrompter model as an eval Method."""
+
+    def __init__(self, name: str, state_dict: dict,
+                 config: GraphPrompterConfig, feature_dim: int):
+        self.name = name
+        self.config = config.validate()
+        self._state_dict = state_dict
+        self._feature_dim = feature_dim
+
+    def build_model(self, dataset: Dataset) -> GraphPrompterModel:
+        """Instantiate the model for a (possibly different) dataset."""
+        model = GraphPrompterModel(dataset.graph.feature_dim,
+                                   dataset.graph.num_relations, self.config)
+        model.load_state_dict(self._state_dict)
+        model.eval()
+        return model
+
+    def predict(self, dataset: Dataset, episode: Episode, shots: int,
+                rng: np.random.Generator) -> np.ndarray:
+        model = self.build_model(dataset)
+        pipeline = GraphPrompterPipeline(model, dataset, rng=rng)
+        return pipeline.run_episode(episode, shots=shots).predictions
+
+
+class ProdigyBaseline(PipelineMethod):
+    """Random prompt selection, no reconstruction / retrieval / cache."""
+
+    def __init__(self, state_dict: dict, config: GraphPrompterConfig,
+                 feature_dim: int):
+        super().__init__("Prodigy", state_dict, prodigy_config(config),
+                         feature_dim)
+
+
+class GraphPrompterMethod(PipelineMethod):
+    """The full multi-stage method."""
+
+    def __init__(self, state_dict: dict, config: GraphPrompterConfig,
+                 feature_dim: int):
+        super().__init__("GraphPrompter", state_dict, config, feature_dim)

@@ -1,0 +1,104 @@
+"""All-in-One / ProG baseline (paper refs [4], [32]).
+
+A *Prompt Token* method: a learnable prompt vector is added to the node
+features of every downstream subgraph and meta-tuned on the episode's few
+labelled candidates before classifying queries by nearest class centroid.
+The paper finds this family unstable in cross-domain few-shot settings
+(large variance, Tables III–V) because the prompt must be fitted from very
+few examples — the behaviour reproduced here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GraphPrompterConfig
+from ..core.episodes import Episode
+from ..core.prompt_generator import PromptGenerator
+from ..datasets.base import Dataset
+from ..gnn import DataGraphEncoder, SubgraphBatch
+from ..nn import Adam, Parameter, Tensor, no_grad
+from ..nn import functional as F
+from .base import class_centroids, nearest_centroid_predict
+
+__all__ = ["ProGBaseline"]
+
+
+class ProGBaseline:
+    """Learnable prompt-token tuning on top of a frozen encoder."""
+
+    name = "ProG"
+
+    def __init__(self, encoder: DataGraphEncoder,
+                 config: GraphPrompterConfig, tune_steps: int = 25,
+                 tune_lr: float = 0.1, temperature: float = 10.0):
+        self.encoder = encoder
+        self.config = config
+        self.tune_steps = tune_steps
+        self.tune_lr = tune_lr
+        self.temperature = temperature
+
+    def _encode_with_prompt(self, batch: SubgraphBatch,
+                            prompt: Tensor) -> Tensor:
+        """Encode a batch whose node features are shifted by the prompt token."""
+        shifted = Tensor(batch.node_features) + prompt
+        original = batch.node_features
+        # The encoder reads ``batch.node_features`` as a plain array, so we
+        # inject the prompt through the projected input instead: rebuild the
+        # projection manually to keep the gradient path to ``prompt``.
+        x = self.encoder.input_proj(shifted)
+        rel_emb = None
+        if batch.rel_features is not None and batch.num_edges:
+            rel_emb = self.encoder.rel_proj(Tensor(batch.rel_features))
+        for conv in self.encoder._modules_list:
+            x = conv(x, batch.src, batch.dst, batch.num_nodes,
+                     edge_weights=batch.edge_weights, rel_emb=rel_emb)
+        from ..gnn.pooling import center_pool
+
+        pooled = center_pool(x, batch.centers)
+        if pooled.shape[-1] == self.encoder.hidden_dim:
+            return pooled
+        return self.encoder.pair_proj(pooled)
+
+    def predict(self, dataset: Dataset, episode: Episode, shots: int,
+                rng: np.random.Generator) -> np.ndarray:
+        generator = PromptGenerator(dataset.graph, self.config, rng=rng)
+        # ProG receives the same k-shot support as the other methods:
+        # a random subset of `shots` candidates per class (no adaptive
+        # selection — that is GraphPrompter's contribution, not ProG's).
+        support_idx = []
+        for cls in range(episode.num_ways):
+            members = episode.candidate_ids_of_class(cls)
+            take = min(shots, members.size)
+            support_idx.extend(rng.choice(members, size=take, replace=False))
+        support_idx = np.array(support_idx)
+        support = [episode.candidates[i] for i in support_idx]
+        candidate_batch = SubgraphBatch.from_subgraphs(
+            generator.subgraphs_for(support))
+        query_batch = SubgraphBatch.from_subgraphs(
+            generator.subgraphs_for(episode.queries))
+
+        prompt = Parameter(np.zeros(dataset.graph.feature_dim))
+        optimizer = Adam([prompt], lr=self.tune_lr)
+        labels = episode.candidate_labels[support_idx]
+        num_ways = episode.num_ways
+
+        # Meta-tune the prompt token: tighten candidate clusters around
+        # their own class centroids.
+        for _ in range(self.tune_steps):
+            optimizer.zero_grad()
+            emb = self._encode_with_prompt(candidate_batch, prompt)
+            centroids = Tensor.stack(
+                [emb[np.nonzero(labels == c)[0]].mean(axis=0)
+                 for c in range(num_ways)], axis=0)
+            logits = F.pairwise_cosine(emb, centroids) * self.temperature
+            loss = F.cross_entropy(logits, labels)
+            loss.backward()
+            optimizer.step()
+
+        with no_grad():
+            candidate_emb = self._encode_with_prompt(candidate_batch,
+                                                     prompt).data
+            query_emb = self._encode_with_prompt(query_batch, prompt).data
+        centroids = class_centroids(candidate_emb, labels, num_ways)
+        return nearest_centroid_predict(query_emb, centroids)

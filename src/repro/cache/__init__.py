@@ -1,0 +1,26 @@
+"""Cache replacement substrate for the Prompt Augmenter."""
+
+from .lfu import LFUCache
+from .policies import FIFOCache, LRUCache
+
+CACHE_POLICIES = {
+    "lfu": LFUCache,
+    "lru": LRUCache,
+    "fifo": FIFOCache,
+}
+
+
+def make_cache(policy: str, capacity: int):
+    """Build a cache by policy name (``lfu`` is the paper's choice)."""
+    try:
+        cache_cls = CACHE_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {policy!r}; "
+            f"available: {sorted(CACHE_POLICIES)}"
+        ) from None
+    return cache_cls(capacity)
+
+
+__all__ = ["LFUCache", "LRUCache", "FIFOCache", "CACHE_POLICIES",
+           "make_cache"]

@@ -1,0 +1,31 @@
+"""GraphPrompter core: the paper's multi-stage prompt-optimization method."""
+
+from .config import GraphPrompterConfig, prodigy_config
+from .episodes import Episode, sample_episode
+from .inference import EpisodeResult, GraphPrompterPipeline
+from .model import GraphPrompterModel
+from .pretrain import PretrainConfig, Pretrainer, TrainingHistory
+from .prompt_augmenter import CacheEntry, PromptAugmenter
+from .prompt_generator import PromptGenerator
+from .prompt_selector import PromptSelector, pairwise_similarity
+from .task_graph import TaskGraph, build_task_graph
+
+__all__ = [
+    "GraphPrompterConfig",
+    "prodigy_config",
+    "GraphPrompterModel",
+    "GraphPrompterPipeline",
+    "EpisodeResult",
+    "Episode",
+    "sample_episode",
+    "PretrainConfig",
+    "Pretrainer",
+    "TrainingHistory",
+    "PromptGenerator",
+    "PromptSelector",
+    "pairwise_similarity",
+    "PromptAugmenter",
+    "CacheEntry",
+    "TaskGraph",
+    "build_task_graph",
+]

@@ -1,0 +1,109 @@
+"""m-way k-shot episode sampling (Definition 2, Sec. V-A2).
+
+An :class:`Episode` packages what one in-context prediction round needs:
+``N`` candidate prompt examples per class drawn from the train partition
+(known labels), and ``n`` queries drawn from the test partition.  Episode
+labels are *local* (0..m-1) — the pre-trained model never sees downstream
+label ids, which is what makes the setting cross-domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from ..graph.datapoints import Datapoint
+
+__all__ = ["Episode", "sample_episode"]
+
+
+@dataclass
+class Episode:
+    """One m-way in-context classification round."""
+
+    way_classes: np.ndarray          # global class ids, shape (m,)
+    candidates: list[Datapoint]      # N per class, ordered class-major
+    candidate_labels: np.ndarray     # local labels in [0, m)
+    queries: list[Datapoint]         # n query datapoints (labels hidden)
+    query_labels: np.ndarray         # ground truth local labels (n,)
+
+    @property
+    def num_ways(self) -> int:
+        return int(self.way_classes.shape[0])
+
+    @property
+    def num_candidates_per_class(self) -> int:
+        return int(self.candidate_labels.shape[0] // self.num_ways)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.query_labels.shape[0])
+
+    def candidate_ids_of_class(self, local_label: int) -> np.ndarray:
+        """Indices into ``candidates`` belonging to one local class."""
+        return np.nonzero(self.candidate_labels == local_label)[0]
+
+
+def sample_episode(
+    dataset: Dataset,
+    num_ways: int,
+    num_candidates_per_class: int = 10,
+    num_queries: int = 8,
+    rng: np.random.Generator | int | None = None,
+    candidate_split: str = "train",
+    query_split: str = "test",
+) -> Episode:
+    """Draw one episode following the paper's evaluation protocol.
+
+    "We select N (=10) nodes or edges from the training partition per
+    category as candidate prompt examples with known labels … test nodes or
+    edges from the test partition" (Sec. V-A2).
+    """
+    if num_ways < 2:
+        raise ValueError("num_ways must be at least 2")
+    rng = np.random.default_rng(rng)
+
+    eligible = [
+        c for c in dataset.classes_with_support(num_candidates_per_class,
+                                                candidate_split)
+        if len(dataset.ids_with_label(int(c), query_split)) >= 1
+    ]
+    if len(eligible) < num_ways:
+        raise ValueError(
+            f"dataset {dataset.name!r} supports only {len(eligible)} classes "
+            f"with {num_candidates_per_class} candidates; requested {num_ways}"
+        )
+    way_classes = rng.choice(np.asarray(eligible), size=num_ways,
+                             replace=False)
+
+    candidates: list[Datapoint] = []
+    candidate_labels: list[int] = []
+    for local, global_class in enumerate(way_classes):
+        ids = dataset.ids_with_label(int(global_class), candidate_split)
+        chosen = rng.choice(ids, size=num_candidates_per_class, replace=False)
+        candidates.extend(dataset.datapoint(int(i)) for i in chosen)
+        candidate_labels.extend([local] * num_candidates_per_class)
+
+    # Queries: sample uniformly over the chosen classes' test datapoints.
+    query_pool: list[tuple[int, int]] = []  # (datapoint id, local label)
+    for local, global_class in enumerate(way_classes):
+        for i in dataset.ids_with_label(int(global_class), query_split):
+            query_pool.append((int(i), local))
+    if not query_pool:
+        raise ValueError("no test datapoints available for the chosen classes")
+    take = min(num_queries, len(query_pool))
+    picked = rng.choice(len(query_pool), size=take, replace=False)
+    queries = [dataset.datapoint(query_pool[i][0], with_label=False)
+               for i in picked]
+    query_labels = np.array([query_pool[i][1] for i in picked],
+                            dtype=np.int64)
+
+    return Episode(
+        way_classes=np.asarray(way_classes, dtype=np.int64),
+        candidates=candidates,
+        candidate_labels=np.asarray(candidate_labels, dtype=np.int64),
+        queries=queries,
+        query_labels=query_labels,
+    )

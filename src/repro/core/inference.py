@@ -1,0 +1,171 @@
+"""Inference pipeline (Alg. 2): the three stages wired together.
+
+Per evaluation run the pipeline receives one m-way episode — ``N``
+candidates per class plus a stream of queries — and processes queries in
+mini-batches, maintaining the Augmenter cache across batches exactly as
+Alg. 2 maintains it across test steps:
+
+1. **Generator** — sample + encode candidate and query data graphs (with
+   reconstruction weights when enabled).
+2. **Selector** — importance scores + kNN retrieval + voting pick ``k``
+   prompts per class for the current query batch.
+3. **Augmenter** — cache entries join the prompt set (``Ŝ' = Ŝ ∪ C``);
+   after prediction, high-confidence queries are inserted and similarity
+   hits bump LFU frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from ..nn import Tensor, no_grad
+from .config import GraphPrompterConfig
+from .episodes import Episode
+from .model import GraphPrompterModel
+from .prompt_augmenter import PromptAugmenter
+from .prompt_generator import PromptGenerator
+from .prompt_selector import PromptSelector
+
+__all__ = ["EpisodeResult", "GraphPrompterPipeline"]
+
+
+@dataclass
+class EpisodeResult:
+    """Predictions and bookkeeping of one evaluation run."""
+
+    predictions: np.ndarray
+    labels: np.ndarray
+    confidences: np.ndarray
+    num_cache_insertions: int
+
+    @property
+    def accuracy(self) -> float:
+        if self.labels.size == 0:
+            return float("nan")
+        return float((self.predictions == self.labels).mean())
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.labels.size)
+
+
+class GraphPrompterPipeline:
+    """End-to-end in-context inference over one downstream dataset."""
+
+    def __init__(self, model: GraphPrompterModel, dataset: Dataset,
+                 rng: np.random.Generator | int | None = None):
+        self.model = model
+        self.dataset = dataset
+        self.config: GraphPrompterConfig = model.config
+        self.rng = np.random.default_rng(rng)
+        self.generator = PromptGenerator(dataset.graph, model.config,
+                                         rng=self.rng)
+        self.selector = PromptSelector(model.config, rng=self.rng)
+        self.augmenter = PromptAugmenter(model.config, rng=self.rng)
+
+    def run_episode(self, episode: Episode, shots: int = 3,
+                    query_batch_size: int = 8,
+                    reset_cache: bool = True) -> EpisodeResult:
+        """Run Alg. 2 over one episode; returns per-query predictions.
+
+        ``reset_cache=False`` keeps the Augmenter cache from a previous
+        call — use when streaming one logical episode through several
+        ``run_episode`` invocations.
+        """
+        model = self.model
+        model.eval()
+        if reset_cache:
+            self.augmenter.reset()
+        config = self.config
+        adaptive = config.use_knn or config.use_selection_layers
+
+        with no_grad():
+            if adaptive:
+                # GraphPrompter pays for encoding the full candidate pool —
+                # the selector needs every embedding (Eqs. 5–8).
+                candidate_pool = episode.candidates
+                pool_labels = episode.candidate_labels
+            else:
+                # Prodigy only ever encodes its random k-shot choice
+                # (Sec. V-A3), so its per-query cost excludes the pool.
+                selected = self.selector.select(
+                    np.zeros((len(episode.candidates), 0)),
+                    np.zeros(len(episode.candidates)),
+                    np.zeros((1, 0)), np.zeros(1),
+                    episode.candidate_labels, shots)
+                candidate_pool = [episode.candidates[i] for i in selected]
+                pool_labels = episode.candidate_labels[selected]
+            candidate_subgraphs = self.generator.subgraphs_for(candidate_pool)
+            candidate_emb_t = model.encode_subgraphs(candidate_subgraphs)
+            candidate_importance = model.importance(candidate_emb_t).data
+            candidate_emb = candidate_emb_t.data
+
+            predictions: list[np.ndarray] = []
+            confidences: list[np.ndarray] = []
+            insertions = 0
+            for start in range(0, episode.num_queries, query_batch_size):
+                batch_queries = episode.queries[start:start + query_batch_size]
+                query_subgraphs = self.generator.subgraphs_for(batch_queries)
+                query_emb_t = model.encode_subgraphs(query_subgraphs)
+                query_importance = model.importance(query_emb_t).data
+                query_emb = query_emb_t.data
+
+                preds, confs, inserted = self._predict_batch(
+                    episode, candidate_emb, candidate_importance,
+                    pool_labels, query_emb, query_importance, shots,
+                    adaptive)
+                predictions.append(preds)
+                confidences.append(confs)
+                insertions += inserted
+
+        return EpisodeResult(
+            predictions=np.concatenate(predictions),
+            labels=episode.query_labels,
+            confidences=np.concatenate(confidences),
+            num_cache_insertions=insertions,
+        )
+
+    # ------------------------------------------------------------------
+    def _predict_batch(self, episode: Episode, candidate_emb: np.ndarray,
+                       candidate_importance: np.ndarray,
+                       pool_labels: np.ndarray,
+                       query_emb: np.ndarray, query_importance: np.ndarray,
+                       shots: int, adaptive: bool
+                       ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Select → augment → predict → cache-update for one query batch."""
+        config = self.config
+        if adaptive:
+            selected = self.selector.select(
+                candidate_emb, candidate_importance, query_emb,
+                query_importance, pool_labels, shots)
+        else:
+            # Pool already holds exactly the random k-shot prompts.
+            selected = np.arange(candidate_emb.shape[0])
+        prompt_emb = candidate_emb[selected]
+        prompt_labels = pool_labels[selected]
+        if config.use_selection_layers:
+            prompt_emb = prompt_emb * candidate_importance[selected, None]
+
+        if config.use_augmenter and len(self.augmenter):
+            cache_emb, cache_labels = self.augmenter.cached_prompts()
+            prompt_emb = np.concatenate([prompt_emb, cache_emb], axis=0)
+            prompt_labels = np.concatenate([prompt_labels, cache_labels])
+
+        logits = self.model.task_logits(
+            Tensor(prompt_emb), prompt_labels, Tensor(query_emb),
+            episode.num_ways)
+        preds, confs = self.model.predict(logits)
+
+        inserted = 0
+        if config.use_augmenter:
+            self.augmenter.record_hits(query_emb, shots)
+            # Once a query becomes a cached prompt it plays a prompt's role,
+            # so store it importance-weighted like the selected prompts.
+            stored = query_emb
+            if config.use_selection_layers:
+                stored = query_emb * query_importance[:, None]
+            inserted = self.augmenter.update(stored, preds, confs)
+        return preds, confs, inserted

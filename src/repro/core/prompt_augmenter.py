@@ -1,0 +1,112 @@
+"""Stage 3 — Prompt Augmenter (Sec. IV-C).
+
+Online test-time augmentation: high-confidence query predictions become
+pseudo-labelled prompts stored in an LFU cache ``C`` (Eq. 9,
+``Ŝ' = Ŝ ∪ C``).  Retrieval hits — cache entries that rank among a query's
+top-k most similar prompts — bump LFU frequencies, so entries that keep
+matching incoming queries survive eviction.
+
+The Table VII ablation (``random_pseudo_labels``) replaces the
+max-confidence insertion policy with uniform random query selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache import make_cache
+from .config import GraphPrompterConfig
+from .prompt_selector import pairwise_similarity
+
+__all__ = ["PromptAugmenter", "CacheEntry"]
+
+
+@dataclass
+class CacheEntry:
+    """One pseudo-labelled test sample held in the Augmenter cache."""
+
+    embedding: np.ndarray
+    pseudo_label: int
+    confidence: float
+
+
+class PromptAugmenter:
+    """LFU-cached online prompt augmentation."""
+
+    def __init__(self, config: GraphPrompterConfig,
+                 rng: np.random.Generator | int | None = None):
+        self.config = config.validate()
+        self.cache = make_cache(config.cache_policy, config.cache_size)
+        self.rng = np.random.default_rng(rng)
+        self._next_key = 0
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    def cached_prompts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current cache contents as ``(embeddings, pseudo_labels)`` arrays.
+
+        Returns empty arrays when the cache is empty — the caller then skips
+        augmentation, matching Alg. 2's "if cache is not empty" guard.
+        """
+        entries = [value for _, value in self.cache.items()]
+        if not entries:
+            return (np.zeros((0, 0)), np.zeros(0, dtype=np.int64))
+        embeddings = np.stack([e.embedding for e in entries])
+        labels = np.array([e.pseudo_label for e in entries], dtype=np.int64)
+        return embeddings, labels
+
+    def record_hits(self, query_embeddings: np.ndarray, top_k: int) -> int:
+        """LFU frequency update: top-k most similar cache entries per query.
+
+        Returns the number of hits recorded.
+        """
+        keys = [key for key, _ in self.cache.items()]
+        if not keys or query_embeddings.shape[0] == 0:
+            return 0
+        embeddings = np.stack([self.cache.peek(k).embedding for k in keys])
+        sims = pairwise_similarity(query_embeddings, embeddings,
+                                   self.config.knn_metric)
+        hits = 0
+        take = min(top_k, len(keys))
+        for row in sims:
+            for idx in np.argsort(-row)[:take]:
+                if self.cache.touch(keys[idx]):
+                    hits += 1
+        return hits
+
+    def update(self, query_embeddings: np.ndarray, predictions: np.ndarray,
+               confidences: np.ndarray) -> int:
+        """Insert pseudo-labelled queries (``Q̂``) into the cache.
+
+        Per batch, at most one query per *predicted class* is inserted — the
+        most confident one (``|Q̂| ≤ m``, Sec. IV-C) — or a uniformly random
+        one under the Table VII ablation.  Returns the number of insertions.
+        """
+        predictions = np.asarray(predictions, dtype=np.int64)
+        confidences = np.asarray(confidences, dtype=np.float64)
+        if query_embeddings.shape[0] == 0:
+            return 0
+        inserted = 0
+        for cls in np.unique(predictions):
+            members = np.nonzero(predictions == cls)[0]
+            if self.config.random_pseudo_labels:
+                chosen = int(self.rng.choice(members))
+            else:
+                chosen = int(members[np.argmax(confidences[members])])
+            entry = CacheEntry(
+                embedding=np.array(query_embeddings[chosen], copy=True),
+                pseudo_label=int(cls),
+                confidence=float(confidences[chosen]),
+            )
+            self.cache.put(self._next_key, entry)
+            self._next_key += 1
+            inserted += 1
+        return inserted
+
+    def reset(self) -> None:
+        """Empty the cache (between evaluation runs)."""
+        self.cache.clear()
+        self._next_key = 0

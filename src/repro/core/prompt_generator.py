@@ -1,0 +1,43 @@
+"""Stage 1 — Prompt Generator (Sec. IV-A).
+
+Turns datapoints into data graphs: random-walk / BFS sampling of the l-hop
+neighbourhood (Eq. 1).  The *reconstruction* half of the stage (Eqs. 2–4)
+is parameterised and therefore lives on the model
+(:meth:`~repro.core.model.GraphPrompterModel.reconstruction_weights`); this
+class owns the sampling half and the subgraph plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph, Subgraph, sample_data_graph
+from ..graph.datapoints import Datapoint
+from .config import GraphPrompterConfig
+
+__all__ = ["PromptGenerator"]
+
+
+class PromptGenerator:
+    """Samples data graphs ``G_i^D`` for datapoints of one source graph."""
+
+    def __init__(self, graph: Graph, config: GraphPrompterConfig,
+                 rng: np.random.Generator | int | None = None):
+        self.graph = graph
+        self.config = config.validate()
+        self.rng = np.random.default_rng(rng)
+
+    def subgraph_for(self, datapoint: Datapoint) -> Subgraph:
+        """Sample one data graph (Eq. 1) with the configured strategy."""
+        return sample_data_graph(
+            self.graph,
+            datapoint,
+            num_hops=self.config.num_hops,
+            max_nodes=self.config.max_subgraph_nodes,
+            rng=self.rng,
+            method=self.config.sampling_method,
+        )
+
+    def subgraphs_for(self, datapoints: list[Datapoint]) -> list[Subgraph]:
+        """Sample data graphs for a list of datapoints."""
+        return [self.subgraph_for(dp) for dp in datapoints]

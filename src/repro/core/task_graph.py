@@ -1,0 +1,98 @@
+"""Bipartite task-graph construction (Sec. III-B, Fig. 1 right).
+
+A task graph ``G^T`` for an m-way episode holds ``P`` prompt data nodes,
+``n`` query data nodes and ``m`` label nodes.  Every data node connects to
+every label node; edge attributes encode (prompt vs. query) × (true label vs.
+not): prompts use "T"/"F" attributes, queries use the unknown "?" attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gnn import (
+    EDGE_ATTR_PROMPT_FALSE,
+    EDGE_ATTR_PROMPT_TRUE,
+    EDGE_ATTR_QUERY,
+)
+
+__all__ = ["TaskGraph", "build_task_graph"]
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """Edge structure + node index bookkeeping of one episode's task graph.
+
+    Node ordering is ``[prompts | queries | labels]``.
+    """
+
+    src: np.ndarray          # data-node endpoint of each edge
+    dst: np.ndarray          # label-node endpoint of each edge
+    attr: np.ndarray         # T / F / ? attribute id per edge
+    num_prompts: int
+    num_queries: int
+    num_ways: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_prompts + self.num_queries + self.num_ways
+
+    @property
+    def prompt_ids(self) -> np.ndarray:
+        return np.arange(self.num_prompts)
+
+    @property
+    def query_ids(self) -> np.ndarray:
+        return self.num_prompts + np.arange(self.num_queries)
+
+    @property
+    def label_ids(self) -> np.ndarray:
+        return self.num_prompts + self.num_queries + np.arange(self.num_ways)
+
+
+def build_task_graph(prompt_labels: np.ndarray, num_queries: int,
+                     num_ways: int) -> TaskGraph:
+    """Construct the fully-connected bipartite task graph.
+
+    ``prompt_labels`` are episode-local labels in ``[0, num_ways)``; each
+    prompt node is wired to all ``num_ways`` label nodes with attribute "T"
+    on its true label and "F" elsewhere; each query is wired to all label
+    nodes with the query attribute.
+    """
+    prompt_labels = np.asarray(prompt_labels, dtype=np.int64)
+    if num_ways < 2:
+        raise ValueError("task graph needs at least two label nodes")
+    if prompt_labels.size and (prompt_labels.min() < 0
+                               or prompt_labels.max() >= num_ways):
+        raise ValueError("prompt labels must lie in [0, num_ways)")
+    if num_queries < 1:
+        raise ValueError("task graph needs at least one query")
+
+    num_prompts = int(prompt_labels.shape[0])
+    label_base = num_prompts + num_queries
+
+    # Prompt ↔ label edges.
+    p_src = np.repeat(np.arange(num_prompts), num_ways)
+    p_dst = label_base + np.tile(np.arange(num_ways), num_prompts)
+    p_attr = np.where(
+        np.repeat(prompt_labels, num_ways) == np.tile(np.arange(num_ways),
+                                                      num_prompts),
+        EDGE_ATTR_PROMPT_TRUE,
+        EDGE_ATTR_PROMPT_FALSE,
+    )
+
+    # Query ↔ label edges.
+    q_src = np.repeat(num_prompts + np.arange(num_queries), num_ways)
+    q_dst = label_base + np.tile(np.arange(num_ways), num_queries)
+    q_attr = np.full(num_queries * num_ways, EDGE_ATTR_QUERY)
+
+    return TaskGraph(
+        src=np.concatenate([p_src, q_src]),
+        dst=np.concatenate([p_dst, q_dst]),
+        attr=np.concatenate([p_attr, q_attr]),
+        num_prompts=num_prompts,
+        num_queries=num_queries,
+        num_ways=num_ways,
+    )

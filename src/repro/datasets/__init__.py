@@ -1,0 +1,45 @@
+"""Synthetic dataset suite mirroring the paper's benchmarks."""
+
+from .base import Dataset, EDGE_TASK, NODE_TASK
+from .registry import (
+    DATASET_BUILDERS,
+    arxiv_sim,
+    conceptnet_sim,
+    fb15k237_sim,
+    load_dataset,
+    mag240m_sim,
+    nell_sim,
+    wiki_sim,
+)
+from .statistics import (
+    dataset_statistics,
+    extended_statistics,
+    format_statistics_table,
+    statistics_table,
+)
+from .synthetic import (
+    semantic_basis,
+    synthetic_citation_graph,
+    synthetic_knowledge_graph,
+)
+
+__all__ = [
+    "Dataset",
+    "NODE_TASK",
+    "EDGE_TASK",
+    "synthetic_citation_graph",
+    "synthetic_knowledge_graph",
+    "semantic_basis",
+    "mag240m_sim",
+    "wiki_sim",
+    "arxiv_sim",
+    "conceptnet_sim",
+    "fb15k237_sim",
+    "nell_sim",
+    "load_dataset",
+    "DATASET_BUILDERS",
+    "dataset_statistics",
+    "extended_statistics",
+    "statistics_table",
+    "format_statistics_table",
+]

@@ -1,0 +1,17 @@
+"""Evaluation harness: metrics, episode runner and timing."""
+
+from .harness import EvaluationSetting, Method, compare_methods, evaluate_method
+from .metrics import MethodScore, accuracy, bootstrap_ci
+from .timing import TimingResult, time_method
+
+__all__ = [
+    "Method",
+    "EvaluationSetting",
+    "evaluate_method",
+    "compare_methods",
+    "MethodScore",
+    "accuracy",
+    "bootstrap_ci",
+    "TimingResult",
+    "time_method",
+]

@@ -1,0 +1,90 @@
+"""Uniform evaluation harness: any method × any dataset × any episode shape.
+
+A *method* is anything with a ``name`` attribute and a
+``predict(dataset, episode, shots, rng) -> np.ndarray`` method returning one
+local label per episode query.  GraphPrompter, Prodigy and all the
+baselines implement this protocol, so each paper table reduces to a loop
+over (method, ways) cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.episodes import Episode, sample_episode
+from ..datasets.base import Dataset
+from .metrics import MethodScore, accuracy
+
+__all__ = ["Method", "EvaluationSetting", "evaluate_method", "compare_methods"]
+
+
+@runtime_checkable
+class Method(Protocol):
+    """The in-context classification protocol every method implements."""
+
+    name: str
+
+    def predict(self, dataset: Dataset, episode: Episode, shots: int,
+                rng: np.random.Generator) -> np.ndarray:
+        """Return predicted local labels for every episode query."""
+        ...
+
+
+@dataclass(frozen=True)
+class EvaluationSetting:
+    """One table cell's episode shape.
+
+    The paper evaluates 500 sampled test datapoints with 3-shot prompts and
+    ``N = 10`` candidates per class over several runs; defaults are scaled
+    for CPU but keep the protocol.
+    """
+
+    num_ways: int
+    shots: int = 3
+    candidates_per_class: int = 10
+    queries_per_run: int = 40
+    runs: int = 5
+
+    def validate(self) -> "EvaluationSetting":
+        if self.num_ways < 2:
+            raise ValueError("num_ways must be at least 2")
+        if self.shots < 1 or self.candidates_per_class < self.shots:
+            raise ValueError("need shots >= 1 and candidates >= shots")
+        if self.queries_per_run < 1 or self.runs < 1:
+            raise ValueError("need at least one query and one run")
+        return self
+
+
+def evaluate_method(method: Method, dataset: Dataset,
+                    setting: EvaluationSetting,
+                    seed: int = 0) -> MethodScore:
+    """Accuracy of ``method`` over ``setting.runs`` independent episodes."""
+    setting.validate()
+    score = MethodScore(method.name)
+    for run in range(setting.runs):
+        episode_rng = np.random.default_rng(seed * 10_000 + run)
+        episode = sample_episode(
+            dataset,
+            num_ways=setting.num_ways,
+            num_candidates_per_class=setting.candidates_per_class,
+            num_queries=setting.queries_per_run,
+            rng=episode_rng,
+        )
+        method_rng = np.random.default_rng(seed * 10_000 + 5000 + run)
+        predictions = method.predict(dataset, episode, setting.shots,
+                                     method_rng)
+        score.add(accuracy(predictions, episode.query_labels))
+    return score
+
+
+def compare_methods(methods: list[Method], dataset: Dataset,
+                    setting: EvaluationSetting,
+                    seed: int = 0) -> dict[str, MethodScore]:
+    """Evaluate several methods on the *same* episodes (paired comparison)."""
+    return {
+        method.name: evaluate_method(method, dataset, setting, seed=seed)
+        for method in methods
+    }

@@ -1,0 +1,65 @@
+"""Accuracy statistics in the paper's reporting format (mean ± std %)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["accuracy", "MethodScore", "bootstrap_ci"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if labels.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float((predictions == labels).mean())
+
+
+@dataclass
+class MethodScore:
+    """Per-run accuracies of one method in one table cell."""
+
+    method: str
+    run_accuracies: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.run_accuracies.append(float(value))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.run_accuracies))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.run_accuracies))
+
+    @property
+    def mean_percent(self) -> float:
+        return 100.0 * self.mean
+
+    @property
+    def std_percent(self) -> float:
+        return 100.0 * self.std
+
+    def __str__(self) -> str:
+        return f"{self.mean_percent:.2f} ±{self.std_percent:.2f}"
+
+
+def bootstrap_ci(values, num_resamples: int = 2000, alpha: float = 0.05,
+                 rng: np.random.Generator | int | None = None
+                 ) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval of the mean."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no values to bootstrap")
+    rng = np.random.default_rng(rng)
+    means = np.empty(num_resamples)
+    for i in range(num_resamples):
+        means[i] = values[rng.integers(0, values.size, values.size)].mean()
+    lo, hi = np.quantile(means, [alpha / 2, 1 - alpha / 2])
+    return float(lo), float(hi)

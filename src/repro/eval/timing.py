@@ -1,0 +1,59 @@
+"""Per-query inference timing (Table VIII).
+
+The paper reports milliseconds per query for Prodigy vs. GraphPrompter at
+10/20/40 ways; GraphPrompter is expected to cost ~2-3× more because of kNN
+retrieval and the cache-extended task graph (Eqs. 15–16).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.episodes import sample_episode
+from ..datasets.base import Dataset
+from .harness import EvaluationSetting, Method
+
+__all__ = ["TimingResult", "time_method"]
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock statistics of one method in one timing cell."""
+
+    method: str
+    total_seconds: float
+    num_queries: int
+
+    @property
+    def ms_per_query(self) -> float:
+        return 1000.0 * self.total_seconds / max(self.num_queries, 1)
+
+
+def time_method(method: Method, dataset: Dataset,
+                setting: EvaluationSetting, seed: int = 0,
+                warmup_runs: int = 1) -> TimingResult:
+    """Measure mean per-query wall time over ``setting.runs`` episodes."""
+    setting.validate()
+    total = 0.0
+    queries = 0
+    for run in range(warmup_runs + setting.runs):
+        episode_rng = np.random.default_rng(seed * 10_000 + run)
+        episode = sample_episode(
+            dataset,
+            num_ways=setting.num_ways,
+            num_candidates_per_class=setting.candidates_per_class,
+            num_queries=setting.queries_per_run,
+            rng=episode_rng,
+        )
+        method_rng = np.random.default_rng(seed * 10_000 + 5000 + run)
+        start = time.perf_counter()
+        method.predict(dataset, episode, setting.shots, method_rng)
+        elapsed = time.perf_counter() - start
+        if run >= warmup_runs:
+            total += elapsed
+            queries += episode.num_queries
+    return TimingResult(method=method.name, total_seconds=total,
+                        num_queries=queries)

@@ -1,0 +1,54 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from .ablations import (
+    ablation_cache_policy,
+    ablation_knn_metric,
+    ablation_recon_scorer,
+)
+from .common import CACHE_DIR, ExperimentContext, TableResult, default_config
+from .figures import (
+    ABLATIONS,
+    fig3_ablation,
+    fig4_gnn_architectures,
+    fig5_cache_size,
+    fig6_shots_sweep,
+    fig7_embedding_distribution,
+    fig8_multi_hop,
+    fig9_training_curves,
+)
+from .grids import accuracy_grid
+from .tables import (
+    table2_dataset_statistics,
+    table3_arxiv,
+    table4_kg,
+    table5_many_ways,
+    table6_ofa_comparison,
+    table7_random_pseudo_labels,
+    table8_inference_time,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "TableResult",
+    "default_config",
+    "CACHE_DIR",
+    "ablation_knn_metric",
+    "ablation_cache_policy",
+    "ablation_recon_scorer",
+    "accuracy_grid",
+    "table2_dataset_statistics",
+    "table3_arxiv",
+    "table4_kg",
+    "table5_many_ways",
+    "table6_ofa_comparison",
+    "table7_random_pseudo_labels",
+    "table8_inference_time",
+    "ABLATIONS",
+    "fig3_ablation",
+    "fig4_gnn_architectures",
+    "fig5_cache_size",
+    "fig6_shots_sweep",
+    "fig7_embedding_distribution",
+    "fig8_multi_hop",
+    "fig9_training_curves",
+]

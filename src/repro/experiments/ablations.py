@@ -1,0 +1,110 @@
+"""Design-choice ablations beyond the paper's Fig. 3.
+
+The paper's Further Discussion names three pluggable components; each
+function here sweeps one of them so the defaults can be defended
+empirically (DESIGN.md §5):
+
+* :func:`ablation_knn_metric` — cosine vs Euclidean vs Manhattan retrieval
+  (Eq. 6 "can be substituted by other distance metrics").
+* :func:`ablation_cache_policy` — LFU (paper) vs LRU vs FIFO eviction.
+* :func:`ablation_recon_scorer` — MLP (Eq. 2) vs bilinear vs cosine-gate
+  edge scoring ("can be replaced with networks other than just MLP").
+"""
+
+from __future__ import annotations
+
+from ..baselines import GraphPrompterMethod
+from ..eval import EvaluationSetting, evaluate_method
+from .common import ExperimentContext, TableResult, default_config
+
+__all__ = [
+    "ablation_knn_metric",
+    "ablation_cache_policy",
+    "ablation_recon_scorer",
+]
+
+KNN_METRICS = ("cosine", "euclidean", "manhattan")
+CACHE_POLICIES = ("lfu", "lru", "fifo")
+RECON_SCORERS = ("mlp", "bilinear", "cosine_gate")
+
+
+def _inference_sweep(context: ExperimentContext, option_name: str,
+                     options, ways_list, seed: int) -> TableResult:
+    """Sweep an inference-only config option with shared wiki weights."""
+    state = context.pretrained_state("wiki")
+    headers = ["Dataset", "Ways"] + list(options)
+    rows = []
+    data = {}
+    queries = 12 if context.fast else 32
+    runs = 2 if context.fast else 3
+    for target in ("fb15k237", "nell"):
+        dataset = context.dataset(target)
+        data[target] = {}
+        for ways in ways_list:
+            setting = EvaluationSetting(num_ways=ways,
+                                        queries_per_run=queries, runs=runs)
+            cell = {}
+            for option in options:
+                config = default_config(**{option_name: option})
+                method = GraphPrompterMethod(state, config,
+                                             dataset.graph.feature_dim)
+                method.name = option
+                cell[option] = evaluate_method(method, dataset, setting,
+                                               seed=seed + ways)
+            data[target][ways] = cell
+            rows.append([target, ways] + [str(cell[o]) for o in options])
+    return TableResult(
+        title=f"Ablation: {option_name} sweep",
+        headers=headers, rows=rows, data=data)
+
+
+def ablation_knn_metric(context: ExperimentContext,
+                        ways_list=(10, 20), seed: int = 0) -> TableResult:
+    """Retrieval metric sweep (inference-only; shared weights)."""
+    return _inference_sweep(context, "knn_metric", KNN_METRICS, ways_list,
+                            seed)
+
+
+def ablation_cache_policy(context: ExperimentContext,
+                          ways_list=(10, 20), seed: int = 0) -> TableResult:
+    """Cache-policy sweep (inference-only; shared weights)."""
+    return _inference_sweep(context, "cache_policy", CACHE_POLICIES,
+                            ways_list, seed)
+
+
+def ablation_recon_scorer(context: ExperimentContext,
+                          ways_list=(10, 20), seed: int = 0) -> TableResult:
+    """Reconstruction-scorer sweep.
+
+    Unlike the other two, the scorer participates in pre-training, so each
+    option pre-trains its own model (cached per configuration).
+    """
+    headers = ["Dataset", "Ways"] + list(RECON_SCORERS)
+    rows = []
+    data = {}
+    queries = 12 if context.fast else 32
+    runs = 2 if context.fast else 3
+    states = {
+        scorer: context.pretrained_state(
+            "wiki", config=default_config(recon_scorer=scorer))
+        for scorer in RECON_SCORERS
+    }
+    for target in ("fb15k237", "nell"):
+        dataset = context.dataset(target)
+        data[target] = {}
+        for ways in ways_list:
+            setting = EvaluationSetting(num_ways=ways,
+                                        queries_per_run=queries, runs=runs)
+            cell = {}
+            for scorer in RECON_SCORERS:
+                config = default_config(recon_scorer=scorer)
+                method = GraphPrompterMethod(states[scorer], config,
+                                             dataset.graph.feature_dim)
+                method.name = scorer
+                cell[scorer] = evaluate_method(method, dataset, setting,
+                                               seed=seed + ways)
+            data[target][ways] = cell
+            rows.append([target, ways]
+                        + [str(cell[s]) for s in RECON_SCORERS])
+    return TableResult(title="Ablation: reconstruction scorer sweep",
+                       headers=headers, rows=rows, data=data)

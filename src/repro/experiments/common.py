@@ -1,0 +1,238 @@
+"""Shared infrastructure for the per-table / per-figure experiments.
+
+Pre-training is by far the most expensive step, so trained artifacts
+(GraphPrompter state dicts, contrastive encoders, OFA joint models) are
+cached in-process *and* on disk under ``.cache/repro-artifacts`` keyed by
+their configuration, letting every benchmark share one pre-training run.
+
+The paper's protocol constants live here: 3-shot prompts, ``N = 10``
+candidates per class, pre-train MAG240M→arXiv for node tasks and
+Wiki→{ConceptNet, FB15K-237, NELL} for edge tasks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import (
+    ContrastiveBaseline,
+    FinetuneBaseline,
+    GraphPrompterMethod,
+    NoPretrainBaseline,
+    OFALikeBaseline,
+    ProdigyBaseline,
+    ProGBaseline,
+)
+from ..core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    PretrainConfig,
+    Pretrainer,
+    TrainingHistory,
+)
+from ..datasets import Dataset, load_dataset
+from ..viz import format_table
+
+__all__ = [
+    "ExperimentContext",
+    "TableResult",
+    "default_config",
+    "CACHE_DIR",
+]
+
+CACHE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR",
+    os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache",
+                 "repro-artifacts"),
+)
+
+
+def default_config(**overrides) -> GraphPrompterConfig:
+    """The CPU-scale analogue of the paper's model configuration."""
+    base = dict(hidden_dim=24, max_subgraph_nodes=16, num_gnn_layers=2)
+    base.update(overrides)
+    return GraphPrompterConfig(**base)
+
+
+@dataclass
+class TableResult:
+    """A reproduced table/figure: printable rows + structured data."""
+
+    title: str
+    headers: list[str]
+    rows: list[list]
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+# Bump when a weight-shape-affecting code change invalidates cached
+# artifacts (e.g. new attention parameterisation).
+_CACHE_VERSION = "v2"
+
+
+def _hash_key(*parts) -> str:
+    text = "|".join(str(p) for p in (_CACHE_VERSION,) + parts)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+class ExperimentContext:
+    """Caches datasets and pre-trained artifacts across experiments.
+
+    Parameters
+    ----------
+    pretrain_steps:
+        Steps for GraphPrompter/Prodigy pre-training (paper: 10k on GPU).
+    fast:
+        Shrinks every knob for smoke tests (used by the test suite).
+    """
+
+    def __init__(self, pretrain_steps: int = 400, fast: bool = False,
+                 use_disk_cache: bool = True):
+        self.fast = fast
+        self.pretrain_steps = 60 if fast else pretrain_steps
+        self.contrastive_steps = 30 if fast else 120
+        self.ofa_steps_per_dataset = 10 if fast else 40
+        self.use_disk_cache = use_disk_cache
+        self._datasets: dict[str, Dataset] = {}
+        self._states: dict[str, dict] = {}
+        self._histories: dict[str, TrainingHistory] = {}
+        self._encoders: dict[str, object] = {}
+        self._methods: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> Dataset:
+        if name not in self._datasets:
+            self._datasets[name] = load_dataset(name)
+        return self._datasets[name]
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(CACHE_DIR, f"{key}.npz")
+
+    def _load_from_disk(self, key: str) -> dict | None:
+        path = self._disk_path(key)
+        if not (self.use_disk_cache and os.path.exists(path)):
+            return None
+        with np.load(path) as archive:
+            return {k: archive[k] for k in archive.files}
+
+    def _save_to_disk(self, key: str, state: dict) -> None:
+        if not self.use_disk_cache:
+            return
+        os.makedirs(CACHE_DIR, exist_ok=True)
+        np.savez(self._disk_path(key), **state)
+
+    # ------------------------------------------------------------------
+    def pretrained_state(self, source: str,
+                         config: GraphPrompterConfig | None = None,
+                         seed: int = 0) -> dict:
+        """State dict of a GraphPrompter model pre-trained on ``source``."""
+        config = config or default_config()
+        key = _hash_key("gp", source, config, self.pretrain_steps, seed)
+        if key in self._states:
+            return self._states[key]
+        state = self._load_from_disk(key)
+        if state is None:
+            dataset = self.dataset(source)
+            model = GraphPrompterModel(dataset.graph.feature_dim,
+                                       dataset.graph.num_relations, config)
+            trainer = Pretrainer(
+                model, dataset,
+                PretrainConfig(steps=self.pretrain_steps, num_ways=8),
+                rng=seed)
+            self._histories[key] = trainer.train()
+            state = model.state_dict()
+            self._save_to_disk(key, state)
+        self._states[key] = state
+        return state
+
+    def pretraining_history(self, source: str,
+                            config: GraphPrompterConfig | None = None,
+                            seed: int = 0) -> TrainingHistory:
+        """Training history (Fig. 9); forces an in-process pre-train run."""
+        config = config or default_config()
+        key = _hash_key("gp", source, config, self.pretrain_steps, seed)
+        if key not in self._histories:
+            # Disk-cached state has no history: retrain in memory.
+            dataset = self.dataset(source)
+            model = GraphPrompterModel(dataset.graph.feature_dim,
+                                       dataset.graph.num_relations, config)
+            trainer = Pretrainer(
+                model, dataset,
+                PretrainConfig(steps=self.pretrain_steps, num_ways=8),
+                rng=seed)
+            self._histories[key] = trainer.train()
+            self._states[key] = model.state_dict()
+            self._save_to_disk(key, self._states[key])
+        return self._histories[key]
+
+    # ------------------------------------------------------------------
+    def contrastive_encoder(self, source: str,
+                            config: GraphPrompterConfig | None = None):
+        """Contrastively pre-trained encoder shared by three baselines."""
+        config = config or default_config()
+        key = _hash_key("contrastive", source, config,
+                        self.contrastive_steps)
+        if key not in self._encoders:
+            baseline = ContrastiveBaseline.pretrained(
+                self.dataset(source), config,
+                steps=self.contrastive_steps, rng=0)
+            self._encoders[key] = baseline.encoder
+        return self._encoders[key]
+
+    # ------------------------------------------------------------------
+    def methods(self, source: str, names: list[str],
+                config: GraphPrompterConfig | None = None) -> list:
+        """Build the requested evaluation methods sharing cached artifacts.
+
+        ``names`` may contain: NoPretrain, Contrastive, Finetune, Prodigy,
+        ProG, OFA, GraphPrompter.
+        """
+        config = config or default_config()
+        feature_dim = self.dataset(source).graph.feature_dim
+        built = []
+        for name in names:
+            key = _hash_key("method", name, source, config,
+                            self.pretrain_steps)
+            if key in self._methods:
+                built.append(self._methods[key])
+                continue
+            if name == "NoPretrain":
+                method = NoPretrainBaseline(config)
+            elif name == "Contrastive":
+                method = ContrastiveBaseline(
+                    self.contrastive_encoder(source, config), config)
+            elif name == "Finetune":
+                method = FinetuneBaseline(
+                    self.contrastive_encoder(source, config), config,
+                    head_steps=20 if self.fast else 60)
+            elif name == "Prodigy":
+                method = ProdigyBaseline(
+                    self.pretrained_state(source, config), config,
+                    feature_dim)
+            elif name == "ProG":
+                method = ProGBaseline(
+                    self.contrastive_encoder(source, config), config,
+                    tune_steps=5 if self.fast else 25)
+            elif name == "OFA":
+                targets = ["wiki", "conceptnet", "fb15k237"]
+                if source == "mag240m":
+                    targets = ["mag240m", "arxiv"]
+                method = OFALikeBaseline.trained_on(
+                    [self.dataset(t) for t in targets], config,
+                    steps_per_dataset=self.ofa_steps_per_dataset)
+            elif name == "GraphPrompter":
+                method = GraphPrompterMethod(
+                    self.pretrained_state(source, config), config,
+                    feature_dim)
+            else:
+                raise KeyError(f"unknown method {name!r}")
+            self._methods[key] = method
+            built.append(method)
+        return built

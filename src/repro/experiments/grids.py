@@ -1,0 +1,51 @@
+"""Grid runner shared by the accuracy tables (methods × way counts)."""
+
+from __future__ import annotations
+
+from ..eval import EvaluationSetting, MethodScore, evaluate_method
+from .common import ExperimentContext
+
+__all__ = ["accuracy_grid"]
+
+
+def accuracy_grid(
+    context: ExperimentContext,
+    source: str,
+    target: str,
+    ways_list: list[int],
+    method_names: list[str] | None = None,
+    shots: int = 3,
+    candidates_per_class: int = 10,
+    queries_per_run: int | None = None,
+    runs: int | None = None,
+    seed: int = 0,
+    methods: list | None = None,
+) -> dict[int, dict[str, MethodScore]]:
+    """Evaluate methods on ``target`` for every way count.
+
+    Methods come either from ``method_names`` (built via the shared context,
+    pre-training artifacts cached per ``source``) or directly as ``methods``
+    objects.  Returns ``{ways: {method_name: MethodScore}}``.
+    """
+    queries_per_run = queries_per_run or (12 if context.fast else 40)
+    runs = runs or (2 if context.fast else 4)
+    if methods is None:
+        if method_names is None:
+            raise ValueError("pass method_names or methods")
+        methods = context.methods(source, method_names)
+    dataset = context.dataset(target)
+    grid: dict[int, dict[str, MethodScore]] = {}
+    for ways in ways_list:
+        setting = EvaluationSetting(
+            num_ways=ways,
+            shots=shots,
+            candidates_per_class=candidates_per_class,
+            queries_per_run=queries_per_run,
+            runs=runs,
+        )
+        grid[ways] = {
+            method.name: evaluate_method(method, dataset, setting,
+                                         seed=seed + ways)
+            for method in methods
+        }
+    return grid

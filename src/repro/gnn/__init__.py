@@ -1,0 +1,33 @@
+"""GNN layers: message passing, convolutions, pooling and the task GNN."""
+
+from .batch import SubgraphBatch
+from .encoder import DataGraphEncoder
+from .gat import GATConv
+from .message_passing import scatter_mean, scatter_sum, segment_count, segment_softmax
+from .pooling import center_pool, mean_pool
+from .sage import SAGEConv
+from .task_gnn import (
+    EDGE_ATTR_PROMPT_FALSE,
+    EDGE_ATTR_PROMPT_TRUE,
+    EDGE_ATTR_QUERY,
+    NUM_EDGE_ATTRS,
+    TaskGraphGNN,
+)
+
+__all__ = [
+    "SubgraphBatch",
+    "DataGraphEncoder",
+    "SAGEConv",
+    "GATConv",
+    "TaskGraphGNN",
+    "scatter_sum",
+    "scatter_mean",
+    "segment_count",
+    "segment_softmax",
+    "mean_pool",
+    "center_pool",
+    "EDGE_ATTR_PROMPT_TRUE",
+    "EDGE_ATTR_PROMPT_FALSE",
+    "EDGE_ATTR_QUERY",
+    "NUM_EDGE_ATTRS",
+]

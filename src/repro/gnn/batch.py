@@ -1,0 +1,85 @@
+"""Batching many subgraphs into one disjoint union for a single GNN pass.
+
+Encoding each prompt/query data graph separately would launch dozens of tiny
+numpy kernels; packing them into one big graph with a ``graph_index`` per
+node is the standard mini-batch trick (PyG's ``Batch``) and what the encoder
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.subgraph import Subgraph
+
+__all__ = ["SubgraphBatch"]
+
+
+@dataclass
+class SubgraphBatch:
+    """Disjoint union of subgraphs with bookkeeping arrays."""
+
+    node_features: np.ndarray     # (total_nodes, d)
+    src: np.ndarray               # global-local edge sources
+    dst: np.ndarray
+    rel: np.ndarray
+    edge_weights: np.ndarray | None  # optional W^D per edge
+    rel_features: np.ndarray | None  # (total_edges, d_rel) relation features
+    graph_index: np.ndarray       # (total_nodes,) which subgraph a node is in
+    edge_graph_index: np.ndarray  # (total_edges,)
+    centers: list[np.ndarray]     # per-subgraph center ids (batch-local)
+    num_graphs: int
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_features.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.shape[0])
+
+    @classmethod
+    def from_subgraphs(cls, subgraphs: list[Subgraph]) -> "SubgraphBatch":
+        if not subgraphs:
+            raise ValueError("cannot batch zero subgraphs")
+        features, srcs, dsts, rels, weights, rel_feats = [], [], [], [], [], []
+        graph_index, edge_graph_index, centers = [], [], []
+        offset = 0
+        any_weights = any(s.edge_weights is not None for s in subgraphs)
+        any_rel_features = any(s.rel_features is not None for s in subgraphs)
+        if any_rel_features and not all(s.rel_features is not None
+                                        or s.num_edges == 0
+                                        for s in subgraphs):
+            raise ValueError(
+                "cannot batch subgraphs with and without relation features")
+        for i, sub in enumerate(subgraphs):
+            features.append(sub.node_features)
+            srcs.append(sub.src + offset)
+            dsts.append(sub.dst + offset)
+            rels.append(sub.rel)
+            if any_weights:
+                if sub.edge_weights is not None:
+                    weights.append(sub.edge_weights)
+                else:
+                    weights.append(np.ones(sub.num_edges))
+            if any_rel_features and sub.rel_features is not None:
+                rel_feats.append(sub.rel_features)
+            graph_index.append(np.full(sub.num_nodes, i, dtype=np.int64))
+            edge_graph_index.append(np.full(sub.num_edges, i, dtype=np.int64))
+            centers.append(sub.centers + offset)
+            offset += sub.num_nodes
+        return cls(
+            node_features=np.concatenate(features, axis=0),
+            src=np.concatenate(srcs),
+            dst=np.concatenate(dsts),
+            rel=np.concatenate(rels),
+            edge_weights=np.concatenate(weights) if any_weights else None,
+            rel_features=(np.concatenate(rel_feats, axis=0)
+                          if any_rel_features else None),
+            graph_index=np.concatenate(graph_index),
+            edge_graph_index=np.concatenate(edge_graph_index),
+            centers=centers,
+            num_graphs=len(subgraphs),
+        )

@@ -1,0 +1,48 @@
+"""Scatter/segment primitives shared by all GNN layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+
+__all__ = ["scatter_sum", "scatter_mean", "segment_softmax", "segment_count"]
+
+
+def scatter_sum(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets (differentiable)."""
+    return values.scatter_add(index, num_segments)
+
+
+def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of rows per segment, clamped to a minimum of one."""
+    counts = np.bincount(np.asarray(index, dtype=np.int64),
+                         minlength=num_segments).astype(np.float64)
+    return np.maximum(counts, 1.0)
+
+
+def scatter_mean(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-aggregate ``values`` rows per segment; empty segments yield zeros."""
+    summed = scatter_sum(values, index, num_segments)
+    counts = segment_count(index, num_segments)
+    return summed / Tensor(counts.reshape(-1, *([1] * (values.ndim - 1))))
+
+
+def segment_softmax(scores: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``scores`` normalised within each segment.
+
+    This is the attention normalisation of GAT and of the task-graph
+    attention GNN: scores of all edges pointing at the same target node sum
+    to one.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if scores.ndim != 1:
+        raise ValueError("segment_softmax expects 1-D scores")
+    # Per-segment max for numerical stability (constant w.r.t. gradient).
+    max_per_segment = np.full(num_segments, -np.inf)
+    np.maximum.at(max_per_segment, index, scores.data)
+    max_per_segment[~np.isfinite(max_per_segment)] = 0.0
+    shifted = scores - Tensor(max_per_segment[index])
+    exps = shifted.exp()
+    denom = exps.reshape(-1, 1).scatter_add(index, num_segments)
+    return exps / (denom.gather_rows(index).reshape(-1) + 1e-16)

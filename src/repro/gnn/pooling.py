@@ -1,0 +1,31 @@
+"""Graph-level readouts turning node embeddings into subgraph embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from .message_passing import scatter_mean
+
+__all__ = ["mean_pool", "center_pool"]
+
+
+def mean_pool(h: Tensor, graph_index: np.ndarray, num_graphs: int) -> Tensor:
+    """Average node embeddings within each subgraph of a batch."""
+    return scatter_mean(h, graph_index, num_graphs)
+
+
+def center_pool(h: Tensor, centers: list[np.ndarray]) -> Tensor:
+    """Concatenate the center-node embeddings of each subgraph.
+
+    All subgraphs in a batch must have the same number of centers (one for
+    node tasks, two for edge tasks); the result is ``(num_graphs, c * d)``.
+    """
+    counts = {len(c) for c in centers}
+    if len(counts) != 1:
+        raise ValueError(f"inconsistent center counts in batch: {sorted(counts)}")
+    num_centers = counts.pop()
+    flat = np.concatenate(centers)
+    gathered = h.gather_rows(flat)
+    dim = h.shape[-1]
+    return gathered.reshape(len(centers), num_centers * dim)

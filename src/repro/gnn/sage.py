@@ -1,0 +1,62 @@
+"""Weighted GraphSAGE convolution — the paper's data-graph GNN (Eq. 4).
+
+The paper uses GraphSAGE for ``GNN_D`` because "it has been proven to have
+good scalability on large-scale graphs" (Sec. V-A4).  The only departure
+from vanilla GraphSAGE is that messages are multiplied by the reconstruction
+weights ``w_uv`` learned by the Prompt Generator (Eqs. 2–3) before the mean
+aggregation, so noisy edges are attenuated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from .message_passing import scatter_sum, segment_count
+
+__all__ = ["SAGEConv"]
+
+
+class SAGEConv(Module):
+    """One GraphSAGE layer with optional per-edge weights.
+
+    ``h'_u = act(W_self h_u + W_neigh · mean_{v→u} (w_uv · (h_v [+ r_uv])))``
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, activation: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.linear_self = Linear(in_dim, out_dim, rng=rng)
+        self.linear_neigh = Linear(in_dim, out_dim, bias=False, rng=rng)
+
+    def forward(
+        self,
+        h: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int,
+        edge_weights: Tensor | np.ndarray | None = None,
+        rel_emb: Tensor | None = None,
+    ) -> Tensor:
+        messages = h.gather_rows(src)
+        if rel_emb is not None:
+            messages = messages + rel_emb
+        if edge_weights is not None:
+            if isinstance(edge_weights, np.ndarray):
+                edge_weights = Tensor(edge_weights)
+            messages = messages * edge_weights.reshape(-1, 1)
+        summed = scatter_sum(messages, dst, num_nodes)
+        counts = segment_count(dst, num_nodes)
+        aggregated = summed / Tensor(counts.reshape(-1, 1))
+        out = self.linear_self(h) + self.linear_neigh(aggregated)
+        if self.activation == "relu":
+            out = out.relu()
+        elif self.activation == "tanh":
+            out = out.tanh()
+        elif self.activation != "identity":
+            raise ValueError(f"unknown activation {self.activation!r}")
+        return out

@@ -1,0 +1,23 @@
+"""Graph substrate: containers, CSR adjacency, samplers and subgraphs."""
+
+from .csr import CSRAdjacency
+from .datapoints import Datapoint, EdgeInput, NodeInput
+from .graph import Graph
+from .interop import from_networkx, to_networkx
+from .sampling import bfs_neighborhood, random_walk_neighborhood, sample_data_graph
+from .subgraph import Subgraph, induced_subgraph
+
+__all__ = [
+    "CSRAdjacency",
+    "Graph",
+    "from_networkx",
+    "to_networkx",
+    "Subgraph",
+    "induced_subgraph",
+    "NodeInput",
+    "EdgeInput",
+    "Datapoint",
+    "bfs_neighborhood",
+    "random_walk_neighborhood",
+    "sample_data_graph",
+]

@@ -1,0 +1,52 @@
+"""Compressed-sparse-row adjacency for fast neighbourhood queries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CSRAdjacency"]
+
+
+class CSRAdjacency:
+    """CSR view over an edge list ``(src, dst)``.
+
+    Stores, for every node ``u``, the contiguous slice of its out-edges:
+    destination nodes ``indices[indptr[u]:indptr[u+1]]`` and the ids of the
+    original edges ``edge_ids[indptr[u]:indptr[u+1]]`` (so relation types and
+    edge labels can be recovered).
+    """
+
+    def __init__(self, num_nodes: int, src: np.ndarray, dst: np.ndarray):
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if src.size and (src.min() < 0 or src.max() >= num_nodes):
+            raise ValueError("src node id out of range")
+        if dst.size and (dst.min() < 0 or dst.max() >= num_nodes):
+            raise ValueError("dst node id out of range")
+        self.num_nodes = int(num_nodes)
+        order = np.argsort(src, kind="stable")
+        self.indices = dst[order]
+        self.edge_ids = order
+        counts = np.bincount(src, minlength=num_nodes)
+        self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Destination nodes of all out-edges of ``node``."""
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def neighbor_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """(destinations, original edge ids) for all out-edges of ``node``."""
+        lo, hi = self.indptr[node], self.indptr[node + 1]
+        return self.indices[lo:hi], self.edge_ids[lo:hi]
+
+    def degree(self, node: int | None = None):
+        """Out-degree of ``node``, or the full degree vector when ``None``."""
+        if node is None:
+            return np.diff(self.indptr)
+        return int(self.indptr[node + 1] - self.indptr[node])

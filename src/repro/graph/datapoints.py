@@ -1,0 +1,49 @@
+"""Input datapoints ``x_i = (V_i, E_i, R_i)`` for classification tasks.
+
+Definition 2 of the paper: a node-classification input consists of a single
+node (``|V_i| = 1``); an edge-classification input is a (head, tail) pair
+with one relation (``|V_i| = 2, |E_i| = 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NodeInput", "EdgeInput", "Datapoint"]
+
+
+@dataclass(frozen=True)
+class NodeInput:
+    """A single node whose label is to be predicted."""
+
+    node: int
+
+    @property
+    def nodes(self) -> np.ndarray:
+        return np.array([self.node], dtype=np.int64)
+
+    @property
+    def relation(self) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class EdgeInput:
+    """A (head, tail) pair whose relation label is to be predicted.
+
+    ``relation`` is the ground-truth relation when known (training / prompt
+    examples) and ``None`` for queries.
+    """
+
+    head: int
+    tail: int
+    relation: int | None = None
+
+    @property
+    def nodes(self) -> np.ndarray:
+        return np.array([self.head, self.tail], dtype=np.int64)
+
+
+Datapoint = NodeInput | EdgeInput

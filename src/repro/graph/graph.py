@@ -1,0 +1,165 @@
+"""The attributed, relation-typed graph container ``G = (V, E, R)``.
+
+Matches Definition 1 of the paper: nodes ``V``, edges ``E`` and relations
+``R``, where each edge ``e = (u, r, v)`` carries a relation type.  Node
+features drive the GNN encoders; node labels support node-classification
+episodes (arXiv-style) and edge relation types double as edge-classification
+labels (FB15K-237 / NELL / ConceptNet-style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRAdjacency
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Immutable attributed multigraph with typed edges.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``|V|``.
+    src, dst:
+        Edge endpoint arrays of equal length ``|E|``.
+    rel:
+        Relation type per edge (``|E|``, defaults to all-zero = untyped).
+    node_features:
+        Dense feature matrix ``(|V|, d)``; required by the encoders.
+    node_labels:
+        Optional integer class per node (node-classification datasets).
+    num_relations:
+        Size of the relation vocabulary ``|R|``; inferred when omitted.
+    relation_features:
+        Optional dense feature per relation ``(|R|, d_rel)``.  Like the
+        BERT/OGB text embeddings of the paper's KGs, these live in a shared
+        semantic space so a model pre-trained on one KG can consume another
+        KG's relations without a per-dataset embedding table.
+    name:
+        Human-readable dataset name.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        rel: np.ndarray | None = None,
+        node_features: np.ndarray | None = None,
+        node_labels: np.ndarray | None = None,
+        num_relations: int | None = None,
+        relation_features: np.ndarray | None = None,
+        name: str = "graph",
+    ):
+        if num_nodes <= 0:
+            raise ValueError("graph must have at least one node")
+        self.num_nodes = int(num_nodes)
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src/dst length mismatch")
+        if rel is None:
+            rel = np.zeros_like(self.src)
+        self.rel = np.asarray(rel, dtype=np.int64)
+        if self.rel.shape != self.src.shape:
+            raise ValueError("rel length must equal the number of edges")
+        if self.src.size and (self.src.min() < 0 or self.src.max() >= num_nodes
+                              or self.dst.min() < 0 or self.dst.max() >= num_nodes):
+            raise ValueError("edge endpoint out of range")
+        if num_relations is None:
+            num_relations = int(self.rel.max()) + 1 if self.rel.size else 1
+        if self.rel.size and self.rel.max() >= num_relations:
+            raise ValueError("relation id exceeds num_relations")
+        self.num_relations = int(num_relations)
+
+        if node_features is None:
+            node_features = np.zeros((num_nodes, 1), dtype=np.float64)
+        self.node_features = np.asarray(node_features, dtype=np.float64)
+        if self.node_features.shape[0] != num_nodes:
+            raise ValueError("node_features first dim must equal num_nodes")
+
+        self.relation_features = None
+        if relation_features is not None:
+            self.relation_features = np.asarray(relation_features,
+                                                dtype=np.float64)
+            if self.relation_features.shape[0] != self.num_relations:
+                raise ValueError(
+                    "relation_features first dim must equal num_relations")
+
+        self.node_labels = None
+        if node_labels is not None:
+            self.node_labels = np.asarray(node_labels, dtype=np.int64)
+            if self.node_labels.shape != (num_nodes,):
+                raise ValueError("node_labels must be (num_nodes,)")
+
+        self.name = name
+        self._adj: CSRAdjacency | None = None
+        self._undirected_adj: CSRAdjacency | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.shape[0])
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.node_features.shape[1])
+
+    @property
+    def num_node_classes(self) -> int:
+        if self.node_labels is None:
+            return 0
+        return int(self.node_labels.max()) + 1
+
+    @property
+    def adjacency(self) -> CSRAdjacency:
+        """Directed out-adjacency (built lazily, cached)."""
+        if self._adj is None:
+            self._adj = CSRAdjacency(self.num_nodes, self.src, self.dst)
+        return self._adj
+
+    @property
+    def undirected_adjacency(self) -> CSRAdjacency:
+        """Symmetrised adjacency used by neighbourhood samplers.
+
+        Edge ids in this view index into the *doubled* edge list; ids below
+        ``num_edges`` are forward edges, ids above are their reverses — use
+        :meth:`edge_id_to_original` to map back.
+        """
+        if self._undirected_adj is None:
+            both_src = np.concatenate([self.src, self.dst])
+            both_dst = np.concatenate([self.dst, self.src])
+            self._undirected_adj = CSRAdjacency(self.num_nodes, both_src, both_dst)
+        return self._undirected_adj
+
+    def edge_id_to_original(self, edge_id: int | np.ndarray):
+        """Map an undirected-view edge id back to the original edge id."""
+        return np.asarray(edge_id) % self.num_edges
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Undirected neighbours of ``node`` (paper's ``Neighbor`` function)."""
+        return self.undirected_adjacency.neighbors(node)
+
+    def degree(self, node: int | None = None):
+        """Undirected degree."""
+        return self.undirected_adjacency.degree(node)
+
+    # ------------------------------------------------------------------
+    def edge_endpoints(self, edge_id: int) -> tuple[int, int, int]:
+        """Return ``(u, r, v)`` for an edge id."""
+        return int(self.src[edge_id]), int(self.rel[edge_id]), int(self.dst[edge_id])
+
+    def edges_between(self, u: int, v: int) -> np.ndarray:
+        """Ids of directed edges from ``u`` to ``v``."""
+        dsts, eids = self.adjacency.neighbor_edges(u)
+        return eids[dsts == v]
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, relations={self.num_relations}, "
+            f"feature_dim={self.feature_dim})"
+        )

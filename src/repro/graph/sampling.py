@@ -1,0 +1,131 @@
+"""Neighbourhood samplers — the prompt-graph generation step (Eq. 1).
+
+Two strategies are provided:
+
+* :func:`bfs_neighborhood` — the exact l-hop neighbourhood
+  ``⊕_{i=0..l} Neighbor(V_i, G, i)`` with a node cap;
+* :func:`random_walk_neighborhood` — the random-walk variant the paper uses
+  for large source graphs (Sec. IV-A1, also Prodigy's sampler): start at a
+  seed, absorb its neighbours, hop to a random neighbour, repeat ``l`` times,
+  stop early when the subgraph hits the preset node limit.
+
+:func:`sample_data_graph` wraps either strategy and returns the re-indexed
+:class:`~repro.graph.subgraph.Subgraph` for one datapoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datapoints import Datapoint, EdgeInput, NodeInput
+from .graph import Graph
+from .subgraph import Subgraph, induced_subgraph
+
+__all__ = [
+    "bfs_neighborhood",
+    "random_walk_neighborhood",
+    "sample_data_graph",
+]
+
+
+def bfs_neighborhood(
+    graph: Graph,
+    seeds: np.ndarray,
+    num_hops: int,
+    max_nodes: int = 64,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Exact l-hop neighbourhood of ``seeds``, truncated at ``max_nodes``.
+
+    When a frontier would overflow the cap, a uniform random subset of it is
+    kept (requires ``rng``; falls back to deterministic truncation).
+    """
+    if num_hops < 0:
+        raise ValueError("num_hops must be non-negative")
+    seeds = np.asarray(seeds, dtype=np.int64)
+    visited: set[int] = set(int(s) for s in seeds)
+    frontier = list(visited)
+    for _ in range(num_hops):
+        if len(visited) >= max_nodes:
+            break
+        next_frontier: list[int] = []
+        for node in frontier:
+            for nb in graph.neighbors(node):
+                nb = int(nb)
+                if nb not in visited:
+                    visited.add(nb)
+                    next_frontier.append(nb)
+        if len(visited) > max_nodes:
+            overflow = len(visited) - max_nodes
+            if rng is not None:
+                drop = rng.choice(len(next_frontier), size=overflow, replace=False)
+                dropped = {next_frontier[i] for i in drop}
+            else:
+                dropped = set(next_frontier[-overflow:])
+            visited -= dropped
+            next_frontier = [n for n in next_frontier if n not in dropped]
+        frontier = next_frontier
+        if not frontier:
+            break
+    return np.array(sorted(visited), dtype=np.int64)
+
+
+def random_walk_neighborhood(
+    graph: Graph,
+    seeds: np.ndarray,
+    num_hops: int,
+    max_nodes: int = 64,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Random-walk subgraph sampler from Sec. IV-A1.
+
+    For each seed: add the seed and its neighbours, then walk — pick a random
+    neighbour, absorb *its* neighbours (duplicates removed), repeat
+    ``num_hops`` times; terminate early once ``max_nodes`` distinct nodes are
+    collected.
+    """
+    if num_hops < 0:
+        raise ValueError("num_hops must be non-negative")
+    rng = rng or np.random.default_rng()
+    seeds = np.asarray(seeds, dtype=np.int64)
+    visited: set[int] = set(int(s) for s in seeds)
+
+    for seed in seeds:
+        current = int(seed)
+        for _ in range(num_hops):
+            neighbors = graph.neighbors(current)
+            for nb in neighbors:
+                if len(visited) >= max_nodes:
+                    break
+                visited.add(int(nb))
+            if len(visited) >= max_nodes or neighbors.size == 0:
+                break
+            current = int(neighbors[rng.integers(neighbors.size)])
+    return np.array(sorted(visited), dtype=np.int64)
+
+
+def sample_data_graph(
+    graph: Graph,
+    datapoint: Datapoint,
+    num_hops: int = 1,
+    max_nodes: int = 64,
+    rng: np.random.Generator | None = None,
+    method: str = "random_walk",
+) -> Subgraph:
+    """Contextualise one datapoint into its data graph ``G_i^D`` (Eq. 1)."""
+    if method == "random_walk":
+        sampler = random_walk_neighborhood
+    elif method == "bfs":
+        sampler = bfs_neighborhood
+    else:
+        raise ValueError(f"unknown sampling method {method!r}")
+
+    if isinstance(datapoint, EdgeInput):
+        relation = datapoint.relation
+    elif isinstance(datapoint, NodeInput):
+        relation = None
+    else:
+        raise TypeError(f"unsupported datapoint type {type(datapoint)!r}")
+    node_set = sampler(graph, datapoint.nodes, num_hops, max_nodes, rng)
+    return induced_subgraph(graph, node_set, datapoint.nodes,
+                            center_relation=relation)

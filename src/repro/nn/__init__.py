@@ -1,0 +1,42 @@
+"""Numpy-backed neural-network substrate (autograd, layers, optimisers)."""
+
+from . import functional
+from .layers import (
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    Sequential,
+)
+from .optim import SGD, Adam, AdamW, Optimizer, StepLR, clip_grad_norm
+from .serialization import load_state, save_state
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Sequential",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "Identity",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "clip_grad_norm",
+    "save_state",
+    "load_state",
+]

@@ -1,0 +1,40 @@
+"""Weight initialisation schemes for the NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros", "normal"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot uniform initialisation: U(-a, a) with a = sqrt(6/(fan_in+fan_out))."""
+    bound = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, fan_in: int, fan_out: int,
+                  shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot normal initialisation: N(0, 2/(fan_in+fan_out))."""
+    std = float(np.sqrt(2.0 / (fan_in + fan_out)))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int,
+                    shape: tuple[int, ...]) -> np.ndarray:
+    """He uniform initialisation for ReLU networks."""
+    bound = float(np.sqrt(6.0 / fan_in))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,143 @@
+"""Gradient-descent optimisers and learning-rate schedules.
+
+The paper pre-trains with AdamW (lr 1e-3, weight decay 1e-3, Sec. V-A4);
+SGD and Adam are provided for the baselines and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "StepLR", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimiser over a list of :class:`Parameter`."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected moments."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._t
+        bias2 = 1.0 - beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    This matches the paper's pre-training optimiser (lr=1e-3, wd=1e-3).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 1e-3):
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        if self.decoupled_weight_decay:
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.data -= self.lr * self.decoupled_weight_decay * p.data
+        super().step()
+
+
+class StepLR:
+    """Multiply the optimiser's learning rate by ``gamma`` every ``step_size``."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._count = 0
+
+    def step(self) -> None:
+        self._count += 1
+        if self._count % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm in place; returns the pre-clip norm."""
+    total = 0.0
+    params = [p for p in parameters if p.grad is not None]
+    for p in params:
+        total += float((p.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            p.grad *= scale
+    return norm

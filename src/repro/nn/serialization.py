@@ -1,0 +1,26 @@
+"""Saving and loading module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(module: Module, path: str) -> None:
+    """Persist a module's state dict to ``path`` (numpy ``.npz``)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Restore a module's weights from a ``.npz`` produced by :func:`save_state`."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,13 @@
+"""Visualisation utilities: t-SNE, cluster quality, ascii charts."""
+
+from .curves import format_table, render_series
+from .embedding_quality import intra_inter_ratio, silhouette_score
+from .tsne import tsne
+
+__all__ = [
+    "tsne",
+    "intra_inter_ratio",
+    "silhouette_score",
+    "render_series",
+    "format_table",
+]

@@ -1,0 +1,76 @@
+"""ASCII rendering of figure series so benchmarks can print paper plots."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_series", "format_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_series(x_values, series: dict[str, list[float]],
+                  width: int = 60, height: int = 15,
+                  title: str = "") -> str:
+    """Render one or more y-series over shared x values as an ASCII chart."""
+    if not series:
+        raise ValueError("no series to render")
+    x_values = np.asarray(x_values, dtype=np.float64)
+    ys = {name: np.asarray(v, dtype=np.float64) for name, v in series.items()}
+    for name, v in ys.items():
+        if v.shape != x_values.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+    y_all = np.concatenate(list(ys.values()))
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_values.min()), float(x_values.max())
+    if x_max - x_min < 1e-12:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, v) in enumerate(ys.items()):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for xi, yi in zip(x_values, v):
+            col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:8.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{y_min:8.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    lines.append(" " * 10 + f"{x_min:<10.4g}" + " " * max(width - 20, 1)
+                 + f"{x_max:>10.4g}")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {name}"
+                        for i, name in enumerate(ys))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def format_table(headers: list[str], rows: list[list],
+                 title: str = "") -> str:
+    """Aligned text table used by the table-reproduction benchmarks."""
+    if not rows:
+        raise ValueError("no rows to format")
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows))
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

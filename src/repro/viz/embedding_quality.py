@@ -1,0 +1,62 @@
+"""Quantitative stand-ins for "the clusters look tighter" (Fig. 7).
+
+A printed scatter cannot be asserted in a benchmark, so we summarise the
+embedding geometry with the intra/inter class distance ratio (lower =
+tighter clusters, better separation) and a simplified silhouette score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["intra_inter_ratio", "silhouette_score"]
+
+
+def intra_inter_ratio(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Mean intra-class distance divided by mean inter-class distance.
+
+    A value below 1 means same-class points sit closer together than
+    cross-class points; smaller is better.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    if embeddings.shape[0] != labels.shape[0]:
+        raise ValueError("one label per embedding required")
+    sums = (embeddings**2).sum(axis=1)
+    dists = np.sqrt(np.maximum(
+        sums[:, None] + sums[None, :] - 2.0 * embeddings @ embeddings.T, 0.0))
+    same = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same, False)
+    off_diag = ~np.eye(len(labels), dtype=bool)
+    intra = dists[same]
+    inter = dists[off_diag & ~same]
+    if intra.size == 0 or inter.size == 0:
+        raise ValueError("need at least two classes with two members each")
+    return float(intra.mean() / inter.mean())
+
+
+def silhouette_score(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient in [-1, 1]; higher is better."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    sums = (embeddings**2).sum(axis=1)
+    dists = np.sqrt(np.maximum(
+        sums[:, None] + sums[None, :] - 2.0 * embeddings @ embeddings.T, 0.0))
+    classes = np.unique(labels)
+    if classes.size < 2:
+        raise ValueError("silhouette needs at least two classes")
+    scores = []
+    for i in range(len(labels)):
+        own = labels[i]
+        same_mask = (labels == own)
+        same_mask_i = same_mask.copy()
+        same_mask_i[i] = False
+        if not same_mask_i.any():
+            continue  # singleton cluster: silhouette undefined
+        a = dists[i, same_mask_i].mean()
+        b = min(dists[i, labels == other].mean()
+                for other in classes if other != own)
+        scores.append((b - a) / max(a, b, 1e-12))
+    if not scores:
+        raise ValueError("all clusters are singletons")
+    return float(np.mean(scores))

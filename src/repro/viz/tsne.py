@@ -1,0 +1,88 @@
+"""Minimal exact t-SNE (van der Maaten & Hinton) for the Fig. 7 analysis.
+
+The paper visualises data-node embeddings with t-SNE to show that
+GraphPrompter's prompts cluster more tightly than Prodigy's.  sklearn is
+unavailable offline, so this is a faithful O(n²) implementation — fine for
+the few hundred points a figure needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sums = (x**2).sum(axis=1)
+    d = sums[:, None] + sums[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _row_affinities(dists_row: np.ndarray, target_entropy: float,
+                    tol: float = 1e-5, max_iter: int = 50
+                    ) -> np.ndarray:
+    """Binary-search the Gaussian bandwidth matching the target perplexity."""
+    lo, hi = 1e-20, 1e20
+    beta = 1.0
+    probs = np.zeros_like(dists_row)
+    for _ in range(max_iter):
+        probs = np.exp(-dists_row * beta)
+        total = probs.sum()
+        if total <= 0:
+            probs = np.full_like(dists_row, 1.0 / dists_row.size)
+            break
+        probs /= total
+        positive = probs[probs > 0]
+        entropy = -(positive * np.log(positive)).sum()
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:
+            lo = beta
+            beta = beta * 2 if hi >= 1e20 else (beta + hi) / 2
+        else:
+            hi = beta
+            beta = beta / 2 if lo <= 1e-20 else (beta + lo) / 2
+    return probs
+
+
+def tsne(x: np.ndarray, num_dims: int = 2, perplexity: float = 20.0,
+         iterations: int = 300, learning_rate: float = 100.0,
+         rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Embed rows of ``x`` into ``num_dims`` dimensions with exact t-SNE."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least three points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    rng = np.random.default_rng(rng)
+
+    # High-dimensional affinities.
+    dists = _pairwise_sq_dists(x)
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(dists[i], i)
+        probs = _row_affinities(row, target_entropy)
+        p[i, np.arange(n) != i] = probs
+    p = (p + p.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    # Gradient descent with momentum and early exaggeration.
+    y = rng.normal(scale=1e-2, size=(n, num_dims))
+    velocity = np.zeros_like(y)
+    exaggeration = 4.0
+    for it in range(iterations):
+        p_eff = p * exaggeration if it < iterations // 4 else p
+        q_num = 1.0 / (1.0 + _pairwise_sq_dists(y))
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+        coeff = (p_eff - q) * q_num
+        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+        momentum = 0.5 if it < 60 else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y += velocity
+        y -= y.mean(axis=0)
+    return y

@@ -1,0 +1,220 @@
+"""Tests for the baseline methods and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ContrastiveBaseline,
+    ContrastiveEncoderTrainer,
+    FinetuneBaseline,
+    GraphPrompterMethod,
+    NoPretrainBaseline,
+    OFALikeBaseline,
+    ProdigyBaseline,
+    ProGBaseline,
+    class_centroids,
+    nearest_centroid_predict,
+)
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    PretrainConfig,
+    Pretrainer,
+    sample_episode,
+)
+from repro.datasets import Dataset, EDGE_TASK
+from repro.datasets.synthetic import synthetic_knowledge_graph
+from repro.eval import (
+    EvaluationSetting,
+    MethodScore,
+    accuracy,
+    bootstrap_ci,
+    compare_methods,
+    evaluate_method,
+    time_method,
+)
+
+
+@pytest.fixture(scope="module")
+def kg_dataset():
+    graph = synthetic_knowledge_graph(300, 8, 2400, rng=0, name="kg-bl")
+    return Dataset(graph, EDGE_TASK, rng=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return GraphPrompterConfig(hidden_dim=12, max_subgraph_nodes=10)
+
+
+@pytest.fixture(scope="module")
+def pretrained_state(kg_dataset, tiny_cfg):
+    model = GraphPrompterModel(kg_dataset.graph.feature_dim,
+                               kg_dataset.graph.num_relations, tiny_cfg)
+    Pretrainer(model, kg_dataset, PretrainConfig(steps=50, num_ways=4),
+               rng=0).train()
+    return model.state_dict()
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validates(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_method_score_stats(self):
+        score = MethodScore("m", [0.5, 0.7])
+        assert score.mean == pytest.approx(0.6)
+        assert score.mean_percent == pytest.approx(60.0)
+        assert "60.00" in str(score)
+
+    def test_bootstrap_ci_contains_mean(self):
+        values = np.random.default_rng(0).normal(0.7, 0.05, size=30)
+        lo, hi = bootstrap_ci(values, rng=0)
+        assert lo < values.mean() < hi
+
+    def test_bootstrap_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestEvaluationSetting:
+    def test_valid(self):
+        EvaluationSetting(num_ways=5).validate()
+
+    @pytest.mark.parametrize("bad", [
+        {"num_ways": 1},
+        {"num_ways": 5, "shots": 0},
+        {"num_ways": 5, "shots": 5, "candidates_per_class": 3},
+        {"num_ways": 5, "queries_per_run": 0},
+        {"num_ways": 5, "runs": 0},
+    ])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            EvaluationSetting(**bad).validate()
+
+
+class TestCentroidHelpers:
+    def test_class_centroids(self):
+        emb = np.array([[0.0], [2.0], [4.0], [6.0]])
+        labels = np.array([0, 0, 1, 1])
+        np.testing.assert_allclose(class_centroids(emb, labels, 2),
+                                   [[1.0], [5.0]])
+
+    def test_nearest_centroid_predict(self):
+        centroids = np.array([[1.0, 0.0], [0.0, 1.0]])
+        queries = np.array([[0.9, 0.1], [0.2, 0.8]])
+        np.testing.assert_array_equal(
+            nearest_centroid_predict(queries, centroids), [0, 1])
+
+
+class TestNoPretrain:
+    def test_predicts_valid_labels(self, kg_dataset, tiny_cfg):
+        method = NoPretrainBaseline(tiny_cfg)
+        ep = sample_episode(kg_dataset, num_ways=4, num_queries=10, rng=0)
+        preds = method.predict(kg_dataset, ep, 3, np.random.default_rng(0))
+        assert preds.shape == (10,)
+        assert np.all((preds >= 0) & (preds < 4))
+
+    def test_near_chance_level(self, kg_dataset, tiny_cfg):
+        """Random weights should hover near 1/m accuracy."""
+        method = NoPretrainBaseline(tiny_cfg)
+        setting = EvaluationSetting(num_ways=4, runs=4, queries_per_run=25)
+        score = evaluate_method(method, kg_dataset, setting, seed=1)
+        assert score.mean < 0.65  # far below a trained model
+
+
+class TestContrastive:
+    def test_training_reduces_loss(self, kg_dataset, tiny_cfg):
+        trainer = ContrastiveEncoderTrainer(kg_dataset, tiny_cfg, rng=0)
+        losses = trainer.train(steps=25, batch_size=8)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_baseline_beats_chance(self, kg_dataset, tiny_cfg):
+        method = ContrastiveBaseline.pretrained(kg_dataset, tiny_cfg,
+                                                steps=40, rng=0)
+        setting = EvaluationSetting(num_ways=4, runs=3, queries_per_run=25)
+        score = evaluate_method(method, kg_dataset, setting, seed=2)
+        assert score.mean > 1.0 / 4
+
+
+class TestFinetune:
+    def test_beats_chance(self, kg_dataset, tiny_cfg):
+        contrastive = ContrastiveBaseline.pretrained(kg_dataset, tiny_cfg,
+                                                     steps=80, rng=0)
+        method = FinetuneBaseline(contrastive.encoder, tiny_cfg,
+                                  head_steps=40)
+        setting = EvaluationSetting(num_ways=4, runs=3, queries_per_run=25)
+        score = evaluate_method(method, kg_dataset, setting, seed=3)
+        assert score.mean > 1.0 / 4
+
+
+class TestProdigyAndGraphPrompter:
+    def test_prodigy_valid_predictions(self, kg_dataset, tiny_cfg,
+                                       pretrained_state):
+        method = ProdigyBaseline(pretrained_state, tiny_cfg,
+                                 kg_dataset.graph.feature_dim)
+        ep = sample_episode(kg_dataset, num_ways=4, num_queries=12, rng=4)
+        preds = method.predict(kg_dataset, ep, 3, np.random.default_rng(4))
+        assert preds.shape == (12,)
+
+    def test_graphprompter_beats_chance(self, kg_dataset, tiny_cfg,
+                                        pretrained_state):
+        method = GraphPrompterMethod(pretrained_state, tiny_cfg,
+                                     kg_dataset.graph.feature_dim)
+        setting = EvaluationSetting(num_ways=4, runs=3, queries_per_run=25)
+        score = evaluate_method(method, kg_dataset, setting, seed=5)
+        assert score.mean > 1.0 / 4
+
+    def test_compare_methods_same_episodes(self, kg_dataset, tiny_cfg,
+                                           pretrained_state):
+        gp = GraphPrompterMethod(pretrained_state, tiny_cfg,
+                                 kg_dataset.graph.feature_dim)
+        prodigy = ProdigyBaseline(pretrained_state, tiny_cfg,
+                                  kg_dataset.graph.feature_dim)
+        setting = EvaluationSetting(num_ways=4, runs=2, queries_per_run=15)
+        scores = compare_methods([gp, prodigy], kg_dataset, setting, seed=6)
+        assert set(scores) == {"GraphPrompter", "Prodigy"}
+        assert all(len(s.run_accuracies) == 2 for s in scores.values())
+
+
+class TestProG:
+    def test_prompt_token_changes_predictions_or_matches(self, kg_dataset,
+                                                         tiny_cfg):
+        contrastive = ContrastiveBaseline.pretrained(kg_dataset, tiny_cfg,
+                                                     steps=40, rng=0)
+        method = ProGBaseline(contrastive.encoder, tiny_cfg, tune_steps=5)
+        ep = sample_episode(kg_dataset, num_ways=3, num_queries=12, rng=7)
+        preds = method.predict(kg_dataset, ep, 3, np.random.default_rng(7))
+        assert preds.shape == (12,)
+        assert np.all((preds >= 0) & (preds < 3))
+
+
+class TestOFALike:
+    def test_joint_training_and_predict(self, kg_dataset, tiny_cfg):
+        other = Dataset(
+            synthetic_knowledge_graph(250, 6, 1800, rng=5, name="kg2"),
+            EDGE_TASK, rng=5)
+        method = OFALikeBaseline.trained_on([kg_dataset, other], tiny_cfg,
+                                            steps_per_dataset=10)
+        ep = sample_episode(kg_dataset, num_ways=3, num_queries=10, rng=8)
+        preds = method.predict(kg_dataset, ep, 3, np.random.default_rng(8))
+        assert preds.shape == (10,)
+
+    def test_requires_datasets(self, tiny_cfg):
+        with pytest.raises(ValueError):
+            OFALikeBaseline.trained_on([], tiny_cfg)
+
+
+class TestTiming:
+    def test_time_method_reports_positive(self, kg_dataset, tiny_cfg,
+                                          pretrained_state):
+        method = ProdigyBaseline(pretrained_state, tiny_cfg,
+                                 kg_dataset.graph.feature_dim)
+        setting = EvaluationSetting(num_ways=3, runs=1, queries_per_run=8)
+        result = time_method(method, kg_dataset, setting, warmup_runs=0)
+        assert result.ms_per_query > 0
+        assert result.num_queries == 8

@@ -1,0 +1,172 @@
+"""Tests for the O(1) LFU cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import LFUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 0) == 0
+
+    def test_len_contains(self):
+        cache = LFUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        assert "a" in cache and "c" not in cache
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LFUCache(0)
+
+    def test_update_existing_key(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        assert cache.put("a", 2) is None
+        assert cache.peek("a") == 2
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # a: freq 2, b: freq 1
+        evicted = cache.put("c", 3)
+        assert evicted == "b"
+        assert "a" in cache and "c" in cache
+
+    def test_fifo_among_ties(self):
+        cache = LFUCache(2)
+        cache.put("first", 1)
+        cache.put("second", 2)
+        evicted = cache.put("third", 3)  # both freq 1 -> evict oldest
+        assert evicted == "first"
+
+    def test_touch_protects_entry(self):
+        cache = LFUCache(2)
+        cache.put("keep", 1)
+        cache.put("drop", 2)
+        assert cache.touch("keep")
+        assert not cache.touch("absent")
+        assert cache.put("new", 3) == "drop"
+
+    def test_eviction_chain(self):
+        cache = LFUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        # freq: a=3, b=2, c=1
+        assert cache.put("d", "d") == "c"
+        assert cache.put("e", "e") == "d"  # d entered at freq 1
+
+
+class TestFrequencyBookkeeping:
+    def test_frequency_counts(self):
+        cache = LFUCache(4)
+        cache.put("a", 1)
+        assert cache.frequency("a") == 1
+        cache.get("a")
+        cache.touch("a")
+        assert cache.frequency("a") == 3
+        assert cache.frequency("nope") == 0
+
+    def test_peek_does_not_bump(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.peek("a")
+        assert cache.frequency("a") == 1
+
+    def test_items_in_frequency_order(self):
+        cache = LFUCache(3)
+        cache.put("low", 1)
+        cache.put("high", 2)
+        for _ in range(3):
+            cache.touch("high")
+        keys = [k for k, _ in cache.items()]
+        assert keys.index("low") < keys.index("high")
+
+    def test_clear(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert list(cache.items()) == []
+        cache.put("b", 2)  # usable after clear
+        assert cache.peek("b") == 2
+
+    def test_keys_values(self):
+        cache = LFUCache(2)
+        cache.put("a", 10)
+        cache.put("b", 20)
+        assert set(cache.keys()) == {"a", "b"}
+        assert set(cache.values()) == {10, 20}
+
+    def test_repr(self):
+        assert "capacity=2" in repr(LFUCache(2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get", "touch"]),
+                  st.integers(min_value=0, max_value=12)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_property_against_reference_model(capacity, ops):
+    """The O(1) cache matches a brute-force LFU reference on random traces."""
+    cache = LFUCache(capacity)
+    # Reference: dict of key -> [frequency, last_bump_order, value].
+    # Ties inside a frequency bucket break FIFO by the time the key last
+    # *entered* that bucket (i.e. its last frequency change), matching the
+    # linked-bucket construction.
+    ref: dict[int, list] = {}
+    counter = 0
+
+    for op, key in ops:
+        counter += 1
+        if op == "put":
+            if key in ref:
+                ref[key][0] += 1
+                ref[key][1] = counter
+                ref[key][2] = counter
+                cache.put(key, counter)
+            else:
+                if len(ref) >= capacity:
+                    victim = min(ref.items(),
+                                 key=lambda kv: (kv[1][0], kv[1][1]))[0]
+                    del ref[victim]
+                ref[key] = [1, counter, counter]
+                cache.put(key, counter)
+        elif op == "get":
+            expected = ref.get(key, [None, None, None])[2]
+            got = cache.get(key)
+            assert got == expected
+            if key in ref:
+                ref[key][0] += 1
+                ref[key][1] = counter
+        else:  # touch
+            hit = cache.touch(key)
+            assert hit == (key in ref)
+            if key in ref:
+                ref[key][0] += 1
+                ref[key][1] = counter
+
+    assert len(cache) == len(ref)
+    for key, (freq, _, value) in ref.items():
+        assert cache.peek(key) == value
+        assert cache.frequency(key) == freq

@@ -1,0 +1,179 @@
+"""Tests for the LRU/FIFO cache policies and their Augmenter integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CACHE_POLICIES, FIFOCache, LFUCache, LRUCache, make_cache
+from repro.core import GraphPrompterConfig, PromptAugmenter
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_cache("lfu", 2), LFUCache)
+        assert isinstance(make_cache("lru", 2), LRUCache)
+        assert isinstance(make_cache("fifo", 2), FIFOCache)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_cache("arc", 2)
+
+    def test_registry_complete(self):
+        assert set(CACHE_POLICIES) == {"lfu", "lru", "fifo"}
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")               # refresh a
+        assert cache.put("c", 3) == "b"
+        assert "a" in cache and "c" in cache
+
+    def test_touch_refreshes(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.touch("a")
+        assert cache.put("c", 3) == "b"
+
+    def test_touch_missing(self):
+        assert not LRUCache(2).touch("ghost")
+
+    def test_put_existing_refreshes(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.put("c", 3) == "b"
+        assert cache.peek("a") == 10
+
+    def test_items_lru_order(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert [k for k, _ in cache.items()] == ["b", "c", "a"]
+
+    def test_frequency_tracking(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.frequency("a") == 1
+        cache.get("a")
+        assert cache.frequency("a") == 2
+        assert cache.frequency("nope") == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestFIFO:
+    def test_evicts_oldest_regardless_of_hits(self):
+        cache = FIFOCache(2)
+        cache.put("old", 1)
+        cache.put("new", 2)
+        for _ in range(5):
+            cache.get("old")
+            cache.touch("old")
+        assert cache.put("c", 3) == "old"  # hits do not protect FIFO entries
+
+    def test_update_keeps_slot(self):
+        cache = FIFOCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)           # update, stays oldest
+        assert cache.put("c", 3) == "a"
+
+    def test_items_insertion_order(self):
+        cache = FIFOCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert [k for k, _ in cache.items()] == ["a", "b", "c"]
+
+    def test_frequency_and_clear(self):
+        cache = FIFOCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.frequency("a") == 2
+        cache.clear()
+        assert cache.frequency("a") == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FIFOCache(0)
+
+
+class TestAugmenterPolicies:
+    @pytest.mark.parametrize("policy", ["lfu", "lru", "fifo"])
+    def test_augmenter_works_with_policy(self, policy):
+        cfg = GraphPrompterConfig(cache_size=2, cache_policy=policy)
+        aug = PromptAugmenter(cfg, rng=0)
+        for i in range(4):
+            aug.update(np.array([[float(i), 1.0]]), np.array([i]),
+                       np.array([0.5]))
+        assert len(aug) == 2
+        emb, labels = aug.cached_prompts()
+        assert emb.shape == (2, 2)
+        assert aug.record_hits(np.array([[3.0, 1.0]]), top_k=1) == 1
+
+    def test_invalid_policy_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            GraphPrompterConfig(cache_policy="arc").validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=6),
+    keys=st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                  max_size=40),
+)
+def test_property_fifo_matches_queue_model(capacity, keys):
+    """FIFO matches a simple queue model (re-puts keep their slot)."""
+    cache = FIFOCache(capacity)
+    queue: list[int] = []
+    for key in keys:
+        cache.put(key, key)
+        if key in queue:
+            continue  # update in place, insertion slot unchanged
+        if len(queue) >= capacity:
+            queue.pop(0)
+        queue.append(key)
+    assert list(cache.keys()) == queue
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    ops=st.lists(st.tuples(st.booleans(),
+                           st.integers(min_value=0, max_value=8)),
+                 min_size=1, max_size=40),
+)
+def test_property_lru_matches_ordereddict_model(capacity, ops):
+    """LRU behaviour matches a reference OrderedDict simulation."""
+    from collections import OrderedDict
+
+    cache = LRUCache(capacity)
+    ref: OrderedDict = OrderedDict()
+    for is_put, key in ops:
+        if is_put:
+            if key in ref:
+                ref.move_to_end(key)
+            elif len(ref) >= capacity:
+                ref.popitem(last=False)
+            ref[key] = key
+            cache.put(key, key)
+        else:
+            if key in ref:
+                ref.move_to_end(key)
+            cache.get(key)
+    assert list(cache.keys()) == list(ref.keys())

@@ -1,0 +1,46 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert not args.fast
+        assert args.pretrain_steps == 400
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["fig5", "--fast", "--pretrain-steps", "10", "--no-disk-cache"])
+        assert args.fast
+        assert args.pretrain_steps == 10
+        assert args.no_disk_cache
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_table2_fast(self, capsys):
+        code = main(["table2", "--fast", "--no-disk-cache",
+                     "--pretrain-steps", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "finished in" in out
+
+    def test_registry_covers_all_paper_artifacts(self):
+        tables = {f"table{i}" for i in range(2, 9)}
+        figures = {f"fig{i}" for i in range(3, 10)}
+        assert tables <= set(EXPERIMENTS)
+        assert figures <= set(EXPERIMENTS)

@@ -1,0 +1,325 @@
+"""Integration tests: model, pre-training (Alg. 1) and inference (Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    GraphPrompterPipeline,
+    PretrainConfig,
+    Pretrainer,
+    PromptGenerator,
+    prodigy_config,
+    sample_episode,
+)
+from repro.datasets import Dataset, EDGE_TASK, NODE_TASK
+from repro.datasets.synthetic import (
+    synthetic_citation_graph,
+    synthetic_knowledge_graph,
+)
+from repro.nn import Tensor, no_grad
+
+
+def small_kg_dataset(seed=0):
+    graph = synthetic_knowledge_graph(300, 8, 2400, rng=seed, name="kg-test")
+    return Dataset(graph, EDGE_TASK, rng=seed)
+
+
+def small_citation_dataset(seed=0):
+    # Lower feature noise than the benchmark datasets: these tests check
+    # pipeline mechanics with a short pre-train, not method ordering.
+    graph = synthetic_citation_graph(300, 6, feature_noise=0.45, rng=seed,
+                                     name="cite-test")
+    return Dataset(graph, NODE_TASK, rng=seed)
+
+
+def tiny_config(**kwargs):
+    defaults = dict(hidden_dim=12, max_subgraph_nodes=10, num_gnn_layers=2)
+    defaults.update(kwargs)
+    return GraphPrompterConfig(**defaults)
+
+
+class TestModel:
+    def test_state_dict_transfers_across_datasets(self):
+        """Weight shapes are dataset-independent (cross-domain requirement)."""
+        kg = small_kg_dataset()
+        cite = small_citation_dataset()
+        cfg = tiny_config()
+        m_kg = GraphPrompterModel(kg.graph.feature_dim,
+                                  kg.graph.num_relations, cfg)
+        m_cite = GraphPrompterModel(cite.graph.feature_dim,
+                                    cite.graph.num_relations, cfg)
+        m_cite.load_state_dict(m_kg.state_dict())  # must not raise
+
+    def test_reconstruction_weights_in_unit_interval(self):
+        ds = small_kg_dataset()
+        cfg = tiny_config()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, cfg)
+        gen = PromptGenerator(ds.graph, cfg, rng=0)
+        ep = sample_episode(ds, num_ways=3, num_candidates_per_class=2,
+                            num_queries=2, rng=0)
+        from repro.gnn import SubgraphBatch
+        batch = SubgraphBatch.from_subgraphs(
+            gen.subgraphs_for(ep.candidates))
+        w = model.reconstruction_weights(batch)
+        assert w.shape == (batch.num_edges,)
+        assert np.all(w.data > 0) and np.all(w.data < 1)
+
+    def test_importance_in_unit_interval(self):
+        ds = small_kg_dataset()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, tiny_config())
+        emb = Tensor(np.random.default_rng(0).normal(size=(5, 12)))
+        imp = model.importance(emb)
+        assert imp.shape == (5,)
+        assert np.all(imp.data > 0) and np.all(imp.data < 1)
+
+    def test_task_logits_shape(self):
+        model = GraphPrompterModel(8, 1, tiny_config())
+        prompts = Tensor(np.random.default_rng(0).normal(size=(6, 12)))
+        queries = Tensor(np.random.default_rng(1).normal(size=(4, 12)))
+        logits = model.task_logits(prompts, np.array([0, 0, 1, 1, 2, 2]),
+                                   queries, num_ways=3)
+        assert logits.shape == (4, 3)
+
+    def test_task_logits_label_mismatch_raises(self):
+        model = GraphPrompterModel(8, 1, tiny_config())
+        with pytest.raises(ValueError):
+            model.task_logits(Tensor(np.zeros((3, 12))), np.array([0, 1]),
+                              Tensor(np.zeros((1, 12))), num_ways=2)
+
+    def test_untrained_head_matches_nearest_centroid(self):
+        """Zero-init task layers: logits argmax == centroid-cosine argmax."""
+        rng = np.random.default_rng(2)
+        model = GraphPrompterModel(8, 1, tiny_config(num_task_layers=2))
+        prompt_emb = rng.normal(size=(9, 12))
+        labels = np.repeat(np.arange(3), 3)
+        query_emb = rng.normal(size=(5, 12))
+        logits = model.task_logits(Tensor(prompt_emb), labels,
+                                   Tensor(query_emb), 3)
+        centroids = np.stack([prompt_emb[labels == c].mean(axis=0)
+                              for c in range(3)])
+
+        def normalize(x):
+            return x / np.linalg.norm(x, axis=-1, keepdims=True)
+
+        reference = normalize(query_emb) @ normalize(centroids).T
+        np.testing.assert_array_equal(logits.data.argmax(axis=1),
+                                      reference.argmax(axis=1))
+
+    def test_predict_returns_confidence(self):
+        model = GraphPrompterModel(8, 1, tiny_config())
+        logits = Tensor(np.array([[5.0, 0.0], [0.0, 1.0]]))
+        preds, confs = model.predict(logits)
+        np.testing.assert_array_equal(preds, [0, 1])
+        assert np.all(confs > 0.5) and np.all(confs <= 1.0)
+
+
+def _held_out_loss(model, dataset, rng_seed=777):
+    """Cross-entropy of the model on one fixed episode (no augmentation)."""
+    from repro.nn import functional as F
+
+    cfg = model.config
+    ep = sample_episode(dataset, num_ways=4, num_candidates_per_class=3,
+                        num_queries=8, rng=rng_seed,
+                        candidate_split="train", query_split="val")
+    gen = PromptGenerator(dataset.graph, cfg, rng=rng_seed)
+    model.eval()
+    with no_grad():
+        emb = model.encode_subgraphs(
+            gen.subgraphs_for(list(ep.candidates) + list(ep.queries)))
+        num_prompts = len(ep.candidates)
+        prompt_emb = emb[np.arange(num_prompts)]
+        query_emb = emb[num_prompts + np.arange(len(ep.queries))]
+        if cfg.use_selection_layers:
+            prompt_emb = model.weight_by_importance(
+                prompt_emb, model.importance(prompt_emb))
+        logits = model.task_logits(prompt_emb, ep.candidate_labels,
+                                   query_emb, ep.num_ways)
+        return F.cross_entropy(logits, ep.query_labels).item()
+
+
+class TestPretrainer:
+    def test_held_out_loss_decreases_on_kg(self):
+        ds = small_kg_dataset()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, tiny_config())
+        before = _held_out_loss(model, ds)
+        trainer = Pretrainer(model, ds,
+                             PretrainConfig(steps=60, num_ways=4,
+                                            log_every=5), rng=0)
+        history = trainer.train()
+        after = _held_out_loss(model, ds)
+        assert after < before
+        assert len(history.steps) >= 3
+
+    def test_held_out_loss_decreases_on_citation(self):
+        ds = small_citation_dataset()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, tiny_config())
+        before = _held_out_loss(model, ds)
+        Pretrainer(model, ds,
+                   PretrainConfig(steps=60, num_ways=4, log_every=5),
+                   rng=0).train()
+        assert _held_out_loss(model, ds) < before
+
+    def test_parameters_change(self):
+        ds = small_kg_dataset()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, tiny_config())
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        Pretrainer(model, ds, PretrainConfig(steps=5, num_ways=3),
+                   rng=0).train()
+        after = model.state_dict()
+        changed = sum(not np.allclose(before[k], after[k]) for k in before)
+        assert changed > len(before) // 2
+
+    def test_single_task_configs(self):
+        ds = small_kg_dataset()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, tiny_config())
+        hist_nm = Pretrainer(
+            model, ds, PretrainConfig(steps=3, num_ways=3, multi_task=False),
+            rng=0).train()
+        assert len(hist_nm.losses) >= 1
+        hist_mt = Pretrainer(
+            model, ds,
+            PretrainConfig(steps=3, num_ways=3, neighbor_matching=False),
+            rng=0).train()
+        assert len(hist_mt.losses) >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(steps=0).validate()
+        with pytest.raises(ValueError):
+            PretrainConfig(neighbor_matching=False,
+                           multi_task=False).validate()
+        with pytest.raises(ValueError):
+            PretrainConfig(num_ways=1).validate()
+
+    def test_model_left_in_eval_mode(self):
+        ds = small_kg_dataset()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, tiny_config())
+        Pretrainer(model, ds, PretrainConfig(steps=2, num_ways=3),
+                   rng=0).train()
+        assert not model.training
+
+    def test_progress_callback_invoked(self):
+        ds = small_kg_dataset()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, tiny_config())
+        seen = []
+        Pretrainer(model, ds,
+                   PretrainConfig(steps=4, num_ways=3, log_every=2),
+                   rng=0).train(lambda s, l, a: seen.append(s))
+        assert seen  # at least one log point
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        ds = small_kg_dataset()
+        cfg = tiny_config()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, cfg)
+        Pretrainer(model, ds, PretrainConfig(steps=90, num_ways=4),
+                   rng=0).train()
+        return ds, cfg, model
+
+    def test_run_episode_accuracy_above_chance(self, trained):
+        ds, cfg, model = trained
+        accs = []
+        for seed in (10, 11, 12):
+            ep = sample_episode(ds, num_ways=4, num_queries=32, rng=seed)
+            result = GraphPrompterPipeline(model, ds,
+                                           rng=seed + 100).run_episode(ep)
+            accs.append(result.accuracy)
+        assert np.mean(accs) > 1.0 / 4  # above chance on average
+
+    def test_result_fields_consistent(self, trained):
+        ds, cfg, model = trained
+        ep = sample_episode(ds, num_ways=3, num_queries=10, rng=12)
+        result = GraphPrompterPipeline(model, ds, rng=13).run_episode(ep)
+        assert result.predictions.shape == result.labels.shape
+        assert result.confidences.shape == (10,)
+        assert np.all(result.confidences > 0)
+        assert np.all(result.predictions >= 0)
+        assert np.all(result.predictions < 3)
+
+    def test_augmenter_fills_cache(self, trained):
+        ds, cfg, model = trained
+        ep = sample_episode(ds, num_ways=3, num_queries=16, rng=14)
+        pipe = GraphPrompterPipeline(model, ds, rng=15)
+        result = pipe.run_episode(ep, query_batch_size=4)
+        assert result.num_cache_insertions > 0
+        assert len(pipe.augmenter) <= cfg.cache_size
+
+    def test_prodigy_mode_inserts_nothing(self, trained):
+        ds, _, model = trained
+        cfg = prodigy_config(tiny_config())
+        m2 = GraphPrompterModel(ds.graph.feature_dim,
+                                ds.graph.num_relations, cfg)
+        m2.load_state_dict(model.state_dict())
+        ep = sample_episode(ds, num_ways=3, num_queries=8, rng=16)
+        result = GraphPrompterPipeline(m2, ds, rng=17).run_episode(ep)
+        assert result.num_cache_insertions == 0
+
+    def test_deterministic_given_rngs_without_augmenter(self, trained):
+        ds, cfg, model = trained
+        cfg2 = cfg.ablate(use_augmenter=False)
+        m2 = GraphPrompterModel(ds.graph.feature_dim,
+                                ds.graph.num_relations, cfg2)
+        m2.load_state_dict(model.state_dict())
+        ep = sample_episode(ds, num_ways=3, num_queries=8, rng=18)
+        r1 = GraphPrompterPipeline(m2, ds, rng=19).run_episode(ep)
+        r2 = GraphPrompterPipeline(m2, ds, rng=19).run_episode(ep)
+        np.testing.assert_array_equal(r1.predictions, r2.predictions)
+
+    def test_cache_persists_across_batches(self, trained):
+        ds, cfg, model = trained
+        ep = sample_episode(ds, num_ways=3, num_queries=24, rng=20)
+        pipe = GraphPrompterPipeline(model, ds, rng=21)
+        pipe.run_episode(ep, query_batch_size=6)
+        # After the run the cache holds at most cache_size entries but some
+        # survived from earlier batches (frequency > 1 possible via hits).
+        assert 1 <= len(pipe.augmenter) <= cfg.cache_size
+
+    def test_node_task_pipeline(self):
+        ds = small_citation_dataset()
+        cfg = tiny_config()
+        model = GraphPrompterModel(ds.graph.feature_dim,
+                                   ds.graph.num_relations, cfg)
+        Pretrainer(model, ds, PretrainConfig(steps=90, num_ways=4),
+                   rng=0).train()
+        accs = []
+        for seed in (22, 23, 24):
+            ep = sample_episode(ds, num_ways=4, num_queries=20, rng=seed)
+            result = GraphPrompterPipeline(model, ds,
+                                           rng=seed + 100).run_episode(ep)
+            accs.append(result.accuracy)
+        assert np.mean(accs) > 1.0 / 4
+
+
+class TestCrossDomainTransfer:
+    def test_pretrain_kg_eval_other_kg(self):
+        """The headline setting: pre-train on one KG, apply to another."""
+        source = small_kg_dataset(seed=1)
+        target_graph = synthetic_knowledge_graph(250, 10, 2200, rng=99,
+                                                 name="target-kg")
+        target = Dataset(target_graph, EDGE_TASK, rng=3)
+        cfg = tiny_config()
+        model = GraphPrompterModel(source.graph.feature_dim,
+                                   source.graph.num_relations, cfg)
+        Pretrainer(model, source, PretrainConfig(steps=60, num_ways=4),
+                   rng=0).train()
+
+        target_model = GraphPrompterModel(target.graph.feature_dim,
+                                          target.graph.num_relations, cfg)
+        target_model.load_state_dict(model.state_dict())
+        ep = sample_episode(target, num_ways=5, num_queries=30, rng=30)
+        result = GraphPrompterPipeline(target_model, target,
+                                       rng=31).run_episode(ep)
+        assert result.accuracy > 1.0 / 5  # transfers above chance

@@ -1,0 +1,61 @@
+"""Tests for the experiment artifact disk cache."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.experiments.common as common
+from repro.experiments import ExperimentContext, default_config
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setattr(common, "CACHE_DIR", str(tmp_path / "artifacts"))
+    return str(tmp_path / "artifacts")
+
+
+class TestHashKey:
+    def test_stable(self):
+        assert common._hash_key("a", 1) == common._hash_key("a", 1)
+
+    def test_distinct_inputs_distinct_keys(self):
+        assert common._hash_key("a", 1) != common._hash_key("a", 2)
+
+    def test_config_changes_key(self):
+        a = common._hash_key("gp", "wiki", default_config(), 60, 0)
+        b = common._hash_key("gp", "wiki", default_config(cache_size=5),
+                             60, 0)
+        assert a != b
+
+
+class TestDiskCache:
+    def test_pretrain_writes_artifact(self, tmp_cache):
+        ctx = ExperimentContext(fast=True, use_disk_cache=True)
+        ctx.pretrained_state("conceptnet")
+        files = os.listdir(tmp_cache)
+        assert len(files) == 1 and files[0].endswith(".npz")
+
+    def test_second_context_loads_without_retraining(self, tmp_cache):
+        first = ExperimentContext(fast=True, use_disk_cache=True)
+        state = first.pretrained_state("conceptnet")
+
+        second = ExperimentContext(fast=True, use_disk_cache=True)
+        loaded = second.pretrained_state("conceptnet")
+        # Loaded from disk: no training history was produced.
+        assert not second._histories
+        for key in state:
+            np.testing.assert_allclose(state[key], loaded[key])
+
+    def test_disk_cache_disabled_writes_nothing(self, tmp_cache):
+        ctx = ExperimentContext(fast=True, use_disk_cache=False)
+        ctx.pretrained_state("conceptnet")
+        assert not os.path.exists(tmp_cache)
+
+    def test_history_retrains_when_only_state_cached(self, tmp_cache):
+        warm = ExperimentContext(fast=True, use_disk_cache=True)
+        warm.pretrained_state("conceptnet")
+
+        fresh = ExperimentContext(fast=True, use_disk_cache=True)
+        history = fresh.pretraining_history("conceptnet")
+        assert len(history.losses) >= 1

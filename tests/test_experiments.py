@@ -1,0 +1,181 @@
+"""Fast-mode smoke tests for every table/figure experiment.
+
+These run the exact code paths the benchmarks use, shrunk to seconds, and
+assert the structural contract of each result (headers, rows, data keys) so
+a benchmark failure can only be a *science* failure, not a plumbing one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ABLATIONS,
+    ExperimentContext,
+    default_config,
+    fig3_ablation,
+    fig4_gnn_architectures,
+    fig5_cache_size,
+    fig6_shots_sweep,
+    fig7_embedding_distribution,
+    fig8_multi_hop,
+    fig9_training_curves,
+    table2_dataset_statistics,
+    table3_arxiv,
+    table4_kg,
+    table5_many_ways,
+    table6_ofa_comparison,
+    table7_random_pseudo_labels,
+    table8_inference_time,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(fast=True, use_disk_cache=False)
+
+
+class TestContext:
+    def test_dataset_caching(self, ctx):
+        assert ctx.dataset("conceptnet") is ctx.dataset("conceptnet")
+
+    def test_pretrained_state_cached(self, ctx):
+        a = ctx.pretrained_state("wiki")
+        b = ctx.pretrained_state("wiki")
+        assert a is b
+
+    def test_methods_unknown_name(self, ctx):
+        with pytest.raises(KeyError):
+            ctx.methods("wiki", ["Midas"])
+
+    def test_default_config_overrides(self):
+        cfg = default_config(cache_size=7)
+        assert cfg.cache_size == 7
+        assert cfg.hidden_dim == 24
+
+
+class TestTable2:
+    def test_rows_and_classes(self, ctx):
+        result = table2_dataset_statistics(ctx)
+        assert len(result.rows) == 6
+        by_name = {r[0]: r for r in result.rows}
+        assert by_name["fb15k237-sim"][4] == 200
+        assert by_name["nell-sim"][4] == 291
+        assert "Table II" in str(result)
+
+
+class TestTable3:
+    def test_structure(self, ctx):
+        result = table3_arxiv(ctx, ways_list=(3, 5),
+                              method_names=["Prodigy", "GraphPrompter"])
+        assert len(result.rows) == 2
+        grid = result.data["grid"]
+        assert set(grid) == {3, 5}
+        assert set(grid[3]) == {"Prodigy", "GraphPrompter"}
+        for cell in grid[3].values():
+            assert 0.0 <= cell.mean <= 1.0
+
+
+class TestTable4:
+    def test_blocks(self, ctx):
+        result = table4_kg(ctx, method_names=["Prodigy", "GraphPrompter"])
+        targets = {row[0] for row in result.rows}
+        assert targets == {"conceptnet", "fb15k237", "nell"}
+        assert set(result.data["conceptnet"]) == {4}
+        assert set(result.data["fb15k237"]) == {5, 10, 20, 40}
+
+
+class TestTable5:
+    def test_many_ways(self, ctx):
+        result = table5_many_ways(ctx, ways_list=(50,))
+        assert {row[0] for row in result.rows} == {"fb15k237", "nell"}
+        grid = result.data["fb15k237"]
+        assert set(grid[50]) == {"Prodigy", "ProG", "GraphPrompter"}
+
+
+class TestTable6:
+    def test_ofa_comparison(self, ctx):
+        result = table6_ofa_comparison.__wrapped__(ctx) if hasattr(
+            table6_ofa_comparison, "__wrapped__") else None
+        # Run with reduced blocks via direct call:
+        from repro.experiments.grids import accuracy_grid
+        grid = accuracy_grid(ctx, source="wiki", target="fb15k237",
+                             ways_list=[5], method_names=["OFA",
+                                                          "GraphPrompter"])
+        assert set(grid[5]) == {"OFA", "GraphPrompter"}
+
+
+class TestTable7:
+    def test_random_pseudo_labels(self, ctx):
+        result = table7_random_pseudo_labels(ctx, seeds=(10, 30),
+                                             num_ways=5)
+        assert len(result.rows) == 2
+        fb = result.data["fb15k237"]
+        assert len(fb["random_by_seed"]) == 2
+        assert all(0.0 <= v <= 100.0 for v in fb["random_by_seed"])
+
+
+class TestTable8:
+    def test_timing(self, ctx):
+        result = table8_inference_time(ctx, ways_list=(5,))
+        for target in ("fb15k237", "nell"):
+            cell = result.data[target][5]
+            assert cell["prodigy"].ms_per_query > 0
+            assert cell["ours"].ms_per_query > 0
+            assert cell["slowdown"] > 0
+
+
+class TestFig3:
+    def test_ablation_variants_present(self, ctx):
+        result = fig3_ablation(ctx, ways_list=(5,))
+        cell = result.data["fb15k237"][5]
+        assert set(cell) == set(ABLATIONS)
+
+
+class TestFig4:
+    def test_architectures(self, ctx):
+        result = fig4_gnn_architectures(ctx, ways_list=(5,))
+        cell = result.data["nell"][5]
+        assert set(cell) == {"GAT", "SAGE"}
+
+
+class TestFig5:
+    def test_cache_sizes(self, ctx):
+        result = fig5_cache_size(ctx, cache_sizes=(1, 3), ways_list=(5,))
+        series = result.data["fb15k237"][5]
+        assert set(series) == {1, 3}
+
+
+class TestFig6:
+    def test_shots(self, ctx):
+        result = fig6_shots_sweep(ctx, shots_list=(1, 3))
+        fb = result.data["fb15k237"]
+        assert set(fb) == {"Prodigy", "GraphPrompter"}
+        assert set(fb["Prodigy"]) == {1, 3}
+
+
+class TestFig7:
+    def test_ratios(self, ctx):
+        result = fig7_embedding_distribution(ctx, shots_list=(5,),
+                                             num_ways=4)
+        cell = result.data["fb15k237"][5]
+        assert cell["Prodigy"]["ratio"] > 0
+        assert cell["GraphPrompter"]["ratio"] > 0
+        # fast mode skips the t-SNE projection
+        assert cell["Prodigy"]["tsne"] is None
+
+
+class TestFig8:
+    def test_hops(self, ctx):
+        result = fig8_multi_hop(ctx, hops_list=(1, 2), ways_list=(5,))
+        cell = result.data["nell"][5]
+        assert set(cell["Prodigy"]) == {1, 2}
+
+
+class TestFig9:
+    def test_histories(self, ctx):
+        result = fig9_training_curves(ctx)
+        ours = result.data["ours"]
+        prodigy = result.data["prodigy"]
+        assert len(ours.losses) >= 3
+        assert len(prodigy.losses) >= 3
+        assert np.isfinite(ours.final_loss)

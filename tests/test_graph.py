@@ -1,0 +1,299 @@
+"""Tests for the graph substrate: Graph, CSR, subgraphs and samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CSRAdjacency,
+    EdgeInput,
+    Graph,
+    NodeInput,
+    Subgraph,
+    bfs_neighborhood,
+    induced_subgraph,
+    random_walk_neighborhood,
+    sample_data_graph,
+)
+
+
+def path_graph(n=5, feature_dim=3):
+    """0-1-2-...-(n-1) path with simple features."""
+    src = np.arange(n - 1)
+    dst = np.arange(1, n)
+    feats = np.arange(n * feature_dim, dtype=float).reshape(n, feature_dim)
+    return Graph(n, src, dst, node_features=feats, name="path")
+
+
+def star_graph(leaves=6):
+    """Node 0 connected to 1..leaves."""
+    src = np.zeros(leaves, dtype=int)
+    dst = np.arange(1, leaves + 1)
+    return Graph(leaves + 1, src, dst,
+                 node_features=np.eye(leaves + 1), name="star")
+
+
+class TestCSR:
+    def test_neighbors(self):
+        adj = CSRAdjacency(4, np.array([0, 0, 1, 2]), np.array([1, 2, 3, 3]))
+        np.testing.assert_array_equal(np.sort(adj.neighbors(0)), [1, 2])
+        np.testing.assert_array_equal(adj.neighbors(3), [])
+
+    def test_edge_ids_recoverable(self):
+        src = np.array([2, 0, 1])
+        dst = np.array([0, 1, 2])
+        adj = CSRAdjacency(3, src, dst)
+        dsts, eids = adj.neighbor_edges(2)
+        np.testing.assert_array_equal(dsts, [0])
+        np.testing.assert_array_equal(eids, [0])
+
+    def test_degree_vector(self):
+        adj = CSRAdjacency(3, np.array([0, 0, 1]), np.array([1, 2, 0]))
+        np.testing.assert_array_equal(adj.degree(), [2, 1, 0])
+        assert adj.degree(0) == 2
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            CSRAdjacency(2, np.array([0]), np.array([5]))
+        with pytest.raises(ValueError):
+            CSRAdjacency(2, np.array([0, 1]), np.array([1]))
+
+    def test_empty_graph(self):
+        adj = CSRAdjacency(3, np.array([], dtype=int), np.array([], dtype=int))
+        assert adj.num_edges == 0
+        np.testing.assert_array_equal(adj.neighbors(1), [])
+
+
+class TestGraph:
+    def test_basic_properties(self):
+        g = path_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        assert g.feature_dim == 3
+        assert "path" in repr(g)
+
+    def test_undirected_neighbors(self):
+        g = path_graph(4)
+        np.testing.assert_array_equal(np.sort(g.neighbors(1)), [0, 2])
+        np.testing.assert_array_equal(np.sort(g.neighbors(0)), [1])
+
+    def test_degree(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.degree(3) == 1
+
+    def test_edge_endpoints(self):
+        g = Graph(3, np.array([0]), np.array([2]), rel=np.array([1]),
+                  num_relations=2)
+        assert g.edge_endpoints(0) == (0, 1, 2)
+
+    def test_edges_between(self):
+        g = Graph(3, np.array([0, 0, 1]), np.array([1, 1, 2]))
+        assert len(g.edges_between(0, 1)) == 2
+        assert len(g.edges_between(1, 0)) == 0
+
+    def test_edge_id_to_original_wraps(self):
+        g = path_graph(3)
+        assert g.edge_id_to_original(g.num_edges) == 0
+
+    def test_num_node_classes(self):
+        g = Graph(3, np.array([0]), np.array([1]),
+                  node_labels=np.array([0, 2, 1]))
+        assert g.num_node_classes == 3
+        assert path_graph().num_node_classes == 0
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            Graph(0, np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0]), np.array([3]))
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0]), np.array([1]), rel=np.array([5]),
+                  num_relations=2)
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0]), np.array([1]),
+                  node_features=np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            Graph(2, np.array([0]), np.array([1]),
+                  node_labels=np.array([0]))
+
+
+class TestSubgraph:
+    def test_induced_keeps_internal_edges(self):
+        g = path_graph(5)
+        sub = induced_subgraph(g, np.array([1, 2, 3]), centers=np.array([2]))
+        assert sub.num_nodes == 3
+        # Edges 1-2 and 2-3 survive, symmetrised to 4 directed edges.
+        assert sub.num_edges == 4
+
+    def test_centers_map_to_local(self):
+        g = path_graph(5)
+        sub = induced_subgraph(g, np.array([2, 3, 4]), centers=np.array([3]))
+        local_center = sub.centers[0]
+        assert sub.nodes[local_center] == 3
+
+    def test_center_outside_raises(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            induced_subgraph(g, np.array([0, 1]), centers=np.array([4]))
+
+    def test_features_subset(self):
+        g = path_graph(5)
+        sub = induced_subgraph(g, np.array([0, 4]), centers=np.array([0]))
+        np.testing.assert_allclose(sub.node_features,
+                                   g.node_features[[0, 4]])
+
+    def test_with_edge_weights(self):
+        g = path_graph(4)
+        sub = induced_subgraph(g, np.array([0, 1, 2]), centers=np.array([1]))
+        weighted = sub.with_edge_weights(np.full(sub.num_edges, 0.5))
+        assert weighted.edge_weights is not None
+        assert sub.edge_weights is None  # original untouched
+
+    def test_with_edge_weights_validates_shape(self):
+        g = path_graph(4)
+        sub = induced_subgraph(g, np.array([0, 1]), centers=np.array([0]))
+        with pytest.raises(ValueError):
+            sub.with_edge_weights(np.ones(99))
+
+    def test_subgraph_validates_local_ids(self):
+        with pytest.raises(ValueError):
+            Subgraph(
+                nodes=np.array([0, 1]),
+                src=np.array([0]),
+                dst=np.array([5]),
+                rel=np.array([0]),
+                node_features=np.zeros((2, 2)),
+                centers=np.array([0]),
+            )
+
+
+class TestBFSSampler:
+    def test_zero_hops_returns_seeds(self):
+        g = path_graph(5)
+        out = bfs_neighborhood(g, np.array([2]), num_hops=0)
+        np.testing.assert_array_equal(out, [2])
+
+    def test_one_hop_path(self):
+        g = path_graph(5)
+        out = bfs_neighborhood(g, np.array([2]), num_hops=1)
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_two_hops_path(self):
+        g = path_graph(7)
+        out = bfs_neighborhood(g, np.array([3]), num_hops=2)
+        np.testing.assert_array_equal(out, [1, 2, 3, 4, 5])
+
+    def test_max_nodes_cap(self):
+        g = star_graph(20)
+        out = bfs_neighborhood(g, np.array([0]), num_hops=1, max_nodes=5,
+                               rng=np.random.default_rng(0))
+        assert len(out) == 5
+        assert 0 in out
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            bfs_neighborhood(path_graph(3), np.array([0]), num_hops=-1)
+
+
+class TestRandomWalkSampler:
+    def test_contains_seed_and_neighbors(self):
+        g = path_graph(5)
+        out = random_walk_neighborhood(g, np.array([2]), num_hops=1,
+                                       rng=np.random.default_rng(0))
+        assert 2 in out
+        assert 1 in out and 3 in out
+
+    def test_respects_max_nodes(self):
+        g = star_graph(50)
+        out = random_walk_neighborhood(g, np.array([0]), num_hops=3,
+                                       max_nodes=10,
+                                       rng=np.random.default_rng(1))
+        assert len(out) <= 10
+
+    def test_subset_of_l_hop_ball(self):
+        g = path_graph(9)
+        ball = set(bfs_neighborhood(g, np.array([4]), num_hops=3,
+                                    max_nodes=10_000))
+        walk = random_walk_neighborhood(g, np.array([4]), num_hops=3,
+                                        max_nodes=10_000,
+                                        rng=np.random.default_rng(2))
+        assert set(walk) <= ball
+
+    def test_deterministic_given_rng(self):
+        g = star_graph(10)
+        a = random_walk_neighborhood(g, np.array([3]), 2,
+                                     rng=np.random.default_rng(7))
+        b = random_walk_neighborhood(g, np.array([3]), 2,
+                                     rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSampleDataGraph:
+    def test_node_input(self):
+        g = path_graph(5)
+        sub = sample_data_graph(g, NodeInput(2), num_hops=1, method="bfs")
+        assert sub.num_nodes == 3
+        assert sub.nodes[sub.centers[0]] == 2
+        assert sub.center_relation is None
+
+    def test_edge_input_carries_relation(self):
+        g = Graph(4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                  rel=np.array([0, 1, 0]), num_relations=2,
+                  node_features=np.eye(4))
+        sub = sample_data_graph(g, EdgeInput(1, 2, relation=1), num_hops=1,
+                                method="bfs")
+        assert sub.center_relation == 1
+        assert set(sub.nodes[sub.centers]) == {1, 2}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            sample_data_graph(path_graph(3), NodeInput(0), method="dfs")
+
+    def test_unknown_datapoint_rejected(self):
+        with pytest.raises(TypeError):
+            sample_data_graph(path_graph(3), "node-0", method="bfs")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    hops=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_bfs_monotone_in_hops(n, hops, seed):
+    """The l-hop ball grows (weakly) with l and always contains the seed."""
+    rng = np.random.default_rng(seed)
+    num_edges = max(1, n)
+    src = rng.integers(0, n, size=num_edges)
+    dst = rng.integers(0, n, size=num_edges)
+    g = Graph(n, src, dst, node_features=np.zeros((n, 2)))
+    start = int(rng.integers(n))
+    smaller = set(bfs_neighborhood(g, np.array([start]), hops,
+                                   max_nodes=10_000))
+    larger = set(bfs_neighborhood(g, np.array([start]), hops + 1,
+                                  max_nodes=10_000))
+    assert start in smaller
+    assert smaller <= larger
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=25),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_induced_subgraph_edges_closed(n, seed):
+    """Every edge of an induced subgraph has both endpoints in the node set."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=2 * n)
+    dst = rng.integers(0, n, size=2 * n)
+    g = Graph(n, src, dst, node_features=np.zeros((n, 2)))
+    chosen = np.unique(rng.integers(0, n, size=n // 2 + 1))
+    sub = induced_subgraph(g, chosen, centers=chosen[:1])
+    assert np.all(sub.src < sub.num_nodes)
+    assert np.all(sub.dst < sub.num_nodes)
+    # Round-trip: local edges map back to original node pairs in the set.
+    original = set(chosen.tolist())
+    assert set(sub.nodes[sub.src]) <= original
+    assert set(sub.nodes[sub.dst]) <= original

@@ -1,0 +1,331 @@
+"""Tests for NN layers, functional ops, optimisers and serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Adam,
+    AdamW,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+    functional as F,
+    load_state,
+    save_state,
+)
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        s = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(4), rtol=1e-10)
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), rtol=1e-9
+        )
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((5, 4)))
+        loss = F.cross_entropy(logits, np.zeros(5, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(4), rtol=1e-9)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        # Gradient should be negative at the true class, positive elsewhere.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((3, 2))), np.array([0]))
+
+    def test_l2_normalize_unit_norm(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(6, 4)))
+        n = F.l2_normalize(x)
+        np.testing.assert_allclose(
+            np.linalg.norm(n.data, axis=-1), np.ones(6), rtol=1e-9
+        )
+
+    def test_cosine_similarity_self_is_one(self):
+        x = Tensor(np.random.default_rng(4).normal(size=(5, 8)))
+        np.testing.assert_allclose(
+            F.cosine_similarity(x, x).data, np.ones(5), rtol=1e-9
+        )
+
+    def test_pairwise_cosine_shape_and_range(self):
+        a = Tensor(np.random.default_rng(5).normal(size=(4, 6)))
+        b = Tensor(np.random.default_rng(6).normal(size=(7, 6)))
+        sim = F.pairwise_cosine(a, b)
+        assert sim.shape == (4, 7)
+        assert np.all(sim.data <= 1.0 + 1e-9) and np.all(sim.data >= -1.0 - 1e-9)
+
+    def test_mse_loss_zero_for_equal(self):
+        x = Tensor(np.ones((3, 3)))
+        assert F.mse_loss(x, np.ones((3, 3))).item() == 0.0
+
+    def test_binary_cross_entropy_bounds(self):
+        p = Tensor(np.array([0.9, 0.1]))
+        loss = F.binary_cross_entropy(p, np.array([1.0, 0.0]))
+        np.testing.assert_allclose(loss.item(), -np.log(0.9), rtol=1e-6)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_mlp_depth_and_activation(self):
+        mlp = MLP([4, 8, 8, 2], activation="tanh")
+        out = mlp(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(mlp.parameters()) == 6  # 3 layers x (W, b)
+
+    def test_mlp_final_activation_sigmoid(self):
+        mlp = MLP([4, 4, 1], final_activation="sigmoid")
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(5, 4))))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_mlp_rejects_short_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP([4, 2], activation="swish")
+
+    def test_sequential_chains(self):
+        model = Sequential(Linear(4, 8), Linear(8, 2))
+        assert model(Tensor(np.ones((1, 4)))).shape == (1, 2)
+        assert len(model) == 2
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 6)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 6)
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_embedding_out_of_range(self):
+        emb = Embedding(4, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([4]))
+
+    def test_embedding_gradient_accumulates_for_repeats(self):
+        emb = Embedding(3, 2)
+        out = emb(np.array([1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+    def test_dropout_train_vs_eval(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 10)))
+        drop.train()
+        out_train = drop(x)
+        assert np.any(out_train.data == 0.0)
+        drop.eval()
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_validates_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_dropout_preserves_expectation(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(1))
+        x = Tensor(np.ones((10_000,)))
+        out = drop(x)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_layernorm_normalises(self):
+        ln = LayerNorm(16)
+        x = Tensor(np.random.default_rng(7).normal(loc=5, scale=3, size=(4, 16)))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-8)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-3)
+
+
+class TestModuleProtocol:
+    def test_named_parameters_nested(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.encoder = Linear(3, 4)
+                self.head = MLP([4, 4, 2])
+
+        names = dict(Net().named_parameters())
+        assert "encoder.weight" in names
+        assert "head._modules_list.0.weight" in names
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        model = MLP([3, 5, 2], rng=np.random.default_rng(0))
+        clone = MLP([3, 5, 2], rng=np.random.default_rng(99))
+        path = str(tmp_path / "weights.npz")
+        save_state(model, path)
+        load_state(clone, path)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = Linear(3, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((3, 2))})  # missing bias
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = Linear(3, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_num_parameters(self):
+        assert Linear(3, 2).num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_losses(optimizer_factory, steps=120):
+        """Minimise ||Wx - y||^2 and report first/last loss."""
+        rng = np.random.default_rng(0)
+        w = Parameter(rng.normal(size=(4, 3)))
+        x = Tensor(rng.normal(size=(16, 4)))
+        # Realisable target so the optimum loss is exactly zero.
+        target = Tensor(x.data @ rng.normal(size=(4, 3)))
+        opt = optimizer_factory([w])
+        first = last = None
+        for _ in range(steps):
+            opt.zero_grad()
+            pred = x @ w
+            diff = pred - target
+            loss = (diff * diff).mean()
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+            last = loss.item()
+        return first, last
+
+    def test_sgd_converges(self):
+        first, last = self._quadratic_losses(lambda p: SGD(p, lr=0.05))
+        assert last < first * 0.2
+
+    def test_sgd_momentum_converges(self):
+        first, last = self._quadratic_losses(lambda p: SGD(p, lr=0.02, momentum=0.9))
+        assert last < first * 0.2
+
+    def test_adam_converges(self):
+        first, last = self._quadratic_losses(lambda p: Adam(p, lr=0.05))
+        assert last < first * 0.2
+
+    def test_adamw_converges(self):
+        first, last = self._quadratic_losses(lambda p: AdamW(p, lr=0.05))
+        assert last < first * 0.3
+
+    def test_adamw_decays_weights(self):
+        w = Parameter(np.ones((4,)) * 10.0)
+        opt = AdamW([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(4)
+        opt.step()
+        assert np.all(w.data < 10.0)
+
+    def test_optimizer_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_optimizer_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_step_lr_halves(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad — should not move
+        np.testing.assert_allclose(p.data, np.ones(2))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=6),
+    classes=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+def test_property_cross_entropy_nonnegative(batch, classes, seed):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(batch, classes)))
+    labels = rng.integers(0, classes, size=batch)
+    assert F.cross_entropy(logits, labels).item() >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9999))
+def test_property_softmax_grad_rows_sum_zero(seed):
+    """Softmax Jacobian rows sum to zero => grad of sum over probs is 0."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    F.softmax(x).sum().backward()
+    np.testing.assert_allclose(x.grad, np.zeros((3, 4)), atol=1e-9)

@@ -1,0 +1,288 @@
+"""Gradient-correctness and semantics tests for the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, no_grad
+from repro.nn.tensor import _unbroadcast
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(op, shapes, seed=0, tol=1e-5):
+    """Compare autograd gradients of ``op(*tensors).sum()`` to finite diffs."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=s) * 0.5 + 0.1 for s in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = op(*tensors)
+    loss = out.sum()
+    loss.backward()
+    for idx, (arr, tensor) in enumerate(zip(arrays, tensors)):
+        def scalar_fn(x, idx=idx):
+            inputs = [a.copy() for a in arrays]
+            inputs[idx] = x
+            with no_grad():
+                return op(*[Tensor(v) for v in inputs]).sum().item()
+
+        expected = numeric_grad(scalar_fn, arr.copy())
+        assert tensor.grad is not None, f"input {idx} missing grad"
+        np.testing.assert_allclose(tensor.grad, expected, rtol=tol, atol=tol)
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        check_grad(lambda a, b: a + b, [(3, 4), (3, 4)])
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: a + b, [(3, 4), (4,)])
+
+    def test_add_broadcast_row(self):
+        check_grad(lambda a, b: a + b, [(3, 1), (1, 4)])
+
+    def test_mul(self):
+        check_grad(lambda a, b: a * b, [(2, 5), (2, 5)])
+
+    def test_mul_broadcast(self):
+        check_grad(lambda a, b: a * b, [(2, 5), (5,)])
+
+    def test_sub(self):
+        check_grad(lambda a, b: a - b, [(4,), (4,)])
+
+    def test_div(self):
+        check_grad(lambda a, b: a / (b + 2.0), [(3, 3), (3, 3)])
+
+    def test_pow(self):
+        check_grad(lambda a: (a + 2.0) ** 3, [(4, 2)])
+
+    def test_neg(self):
+        check_grad(lambda a: -a, [(5,)])
+
+    def test_exp(self):
+        check_grad(lambda a: a.exp(), [(3, 2)])
+
+    def test_log(self):
+        check_grad(lambda a: (a + 3.0).log(), [(3, 2)])
+
+    def test_sigmoid(self):
+        check_grad(lambda a: a.sigmoid(), [(4, 4)])
+
+    def test_tanh(self):
+        check_grad(lambda a: a.tanh(), [(4, 4)])
+
+    def test_relu(self):
+        check_grad(lambda a: (a + 0.05).relu(), [(6,)])
+
+    def test_leaky_relu(self):
+        check_grad(lambda a: (a + 0.05).leaky_relu(0.1), [(6,)])
+
+    def test_abs(self):
+        check_grad(lambda a: (a + 0.3).abs(), [(5,)])
+
+    def test_sqrt(self):
+        check_grad(lambda a: (a + 2.0).sqrt(), [(3, 3)])
+
+    def test_clip_interior(self):
+        check_grad(lambda a: a.clip(-10.0, 10.0), [(4,)])
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self):
+        check_grad(lambda a, b: a @ b, [(3, 4), (4, 5)])
+
+    def test_matmul_vec_right(self):
+        check_grad(lambda a, b: a @ b, [(3, 4), (4,)])
+
+    def test_matmul_vec_left(self):
+        check_grad(lambda a, b: a @ b, [(4,), (4, 3)])
+
+    def test_chained_matmul(self):
+        check_grad(lambda a, b, c: (a @ b) @ c, [(2, 3), (3, 4), (4, 2)])
+
+
+class TestReductionGrads:
+    def test_sum_all(self):
+        check_grad(lambda a: a.sum(), [(3, 4)])
+
+    def test_sum_axis0(self):
+        check_grad(lambda a: a.sum(axis=0), [(3, 4)])
+
+    def test_sum_axis1_keepdims(self):
+        check_grad(lambda a: a.sum(axis=1, keepdims=True), [(3, 4)])
+
+    def test_mean(self):
+        check_grad(lambda a: a.mean(axis=1), [(3, 4)])
+
+    def test_max(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(3, 5))
+        t = Tensor(a, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        # Gradient flows only to row maxima.
+        expected = np.zeros_like(a)
+        expected[np.arange(3), a.argmax(axis=1)] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+
+class TestShapeGrads:
+    def test_reshape(self):
+        check_grad(lambda a: (a.reshape(6, 2) @ np.ones((2, 3))).sum(axis=0),
+                   [(3, 4)])
+
+    def test_transpose(self):
+        check_grad(lambda a: a.transpose() * 2.0, [(3, 4)])
+
+    def test_getitem_rows(self):
+        check_grad(lambda a: a[np.array([0, 0, 2])], [(3, 4)])
+
+    def test_gather_rows(self):
+        check_grad(lambda a: a.gather_rows(np.array([1, 1, 0, 2])), [(3, 4)])
+
+    def test_scatter_add(self):
+        check_grad(lambda a: a.scatter_add(np.array([0, 1, 0, 2, 1]), 3),
+                   [(5, 4)])
+
+    def test_concatenate(self):
+        check_grad(lambda a, b: Tensor.concatenate([a, b], axis=1),
+                   [(2, 3), (2, 2)])
+
+    def test_stack(self):
+        check_grad(lambda a, b: Tensor.stack([a, b], axis=0), [(2, 3), (2, 3)])
+
+
+class TestSemantics:
+    def test_requires_grad_propagates(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)))
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_backward_scalar_only(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_without_grad_flag(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a.sum() * 1.0).backward()
+        (a.sum() * 1.0).backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones(3))
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = (a.detach() * 3.0).sum()
+        assert not out.requires_grad
+
+    def test_shared_node_grad(self):
+        # y = x*x + x should give dy/dx = 2x + 1.
+        x = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+        y = (x * x + x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data + 1)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2.0
+        b = x + 1.0
+        y = (a * b).sum()  # y = 2x(x+1) => dy/dx = 4x + 2
+        y.backward()
+        np.testing.assert_allclose(x.grad, [4 * 3.0 + 2.0])
+
+    def test_item_and_len(self):
+        t = Tensor([[1.0, 2.0]])
+        assert len(t) == 1
+        assert Tensor([5.0]).item() == 5.0
+
+    def test_repr(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)) is g
+
+    def test_leading_axis(self):
+        g = np.ones((5, 3, 4))
+        np.testing.assert_allclose(_unbroadcast(g, (3, 4)), 5 * np.ones((3, 4)))
+
+    def test_keepdim_axis(self):
+        g = np.ones((3, 4))
+        np.testing.assert_allclose(_unbroadcast(g, (3, 1)), 4 * np.ones((3, 1)))
+
+    def test_scalar(self):
+        g = np.ones((2, 2))
+        np.testing.assert_allclose(_unbroadcast(g, ()), 4.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_add_grad_is_ones(rows, cols, seed):
+    """d(sum(a+b))/da is exactly ones regardless of shape."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    b = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((rows, cols)))
+    np.testing.assert_allclose(b.grad, np.ones((rows, cols)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_sigmoid_range_and_grad_sign(n, seed):
+    """Sigmoid outputs lie in (0,1) and its gradient is positive."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=n) * 3, requires_grad=True)
+    y = x.sigmoid()
+    assert np.all(y.data > 0) and np.all(y.data < 1)
+    y.sum().backward()
+    assert np.all(x.grad > 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    d=st.integers(min_value=1, max_value=4),
+    targets=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_scatter_then_sum_preserves_mass(n, d, targets, seed):
+    """scatter_add conserves total mass: sum(out) == sum(in)."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(n, d)))
+    index = rng.integers(0, targets, size=n)
+    out = x.scatter_add(index, targets)
+    np.testing.assert_allclose(out.data.sum(), x.data.sum(), rtol=1e-9)

@@ -1,0 +1,233 @@
+"""Robustness / failure-injection tests across the stack.
+
+These exercise the corners a production deployment hits: isolated nodes,
+empty-edge subgraphs, degenerate episode shapes, tiny caches, model
+serialisation round trips, and pathological inputs to the selector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    GraphPrompterPipeline,
+    PretrainConfig,
+    Pretrainer,
+    PromptSelector,
+    sample_episode,
+)
+from repro.datasets import Dataset, EDGE_TASK, NODE_TASK
+from repro.datasets.synthetic import (
+    synthetic_citation_graph,
+    synthetic_knowledge_graph,
+)
+from repro.graph import Graph, NodeInput, sample_data_graph
+from repro.nn import Tensor, load_state, save_state
+
+
+@pytest.fixture(scope="module")
+def kg_dataset():
+    graph = synthetic_knowledge_graph(250, 6, 2000, rng=0, name="kg-rb")
+    return Dataset(graph, EDGE_TASK, rng=0)
+
+
+@pytest.fixture(scope="module")
+def trained_model(kg_dataset):
+    cfg = GraphPrompterConfig(hidden_dim=12, max_subgraph_nodes=10)
+    model = GraphPrompterModel(kg_dataset.graph.feature_dim,
+                               kg_dataset.graph.num_relations, cfg)
+    Pretrainer(model, kg_dataset, PretrainConfig(steps=25, num_ways=3),
+               rng=0).train()
+    return model
+
+
+class TestIsolatedStructures:
+    def test_isolated_node_encodes(self):
+        graph = Graph(4, np.array([0, 1]), np.array([1, 2]),
+                      node_features=np.eye(4))
+        sub = sample_data_graph(graph, NodeInput(3), num_hops=2,
+                                method="bfs")
+        assert sub.num_nodes == 1 and sub.num_edges == 0
+        model = GraphPrompterModel(4, 1, GraphPrompterConfig(hidden_dim=8))
+        emb = model.encode_subgraphs([sub])
+        assert emb.shape == (1, 8)
+        assert np.all(np.isfinite(emb.data))
+
+    def test_mixed_empty_and_nonempty_subgraphs(self):
+        graph = Graph(5, np.array([0, 1, 2]), np.array([1, 2, 3]),
+                      node_features=np.eye(5))
+        subs = [
+            sample_data_graph(graph, NodeInput(4), num_hops=1, method="bfs"),
+            sample_data_graph(graph, NodeInput(1), num_hops=1, method="bfs"),
+        ]
+        model = GraphPrompterModel(5, 1, GraphPrompterConfig(hidden_dim=6))
+        emb = model.encode_subgraphs(subs)
+        assert emb.shape == (2, 6)
+        assert np.all(np.isfinite(emb.data))
+
+    def test_reconstruction_on_zero_edge_batch(self):
+        graph = Graph(3, np.array([], dtype=int), np.array([], dtype=int),
+                      node_features=np.eye(3))
+        sub = sample_data_graph(graph, NodeInput(0), num_hops=1,
+                                method="bfs")
+        from repro.gnn import SubgraphBatch
+
+        model = GraphPrompterModel(3, 1, GraphPrompterConfig(hidden_dim=4))
+        weights = model.reconstruction_weights(
+            SubgraphBatch.from_subgraphs([sub]))
+        assert weights.shape == (0,)
+
+
+class TestDegenerateEpisodes:
+    def test_single_query_episode(self, kg_dataset, trained_model):
+        episode = sample_episode(kg_dataset, num_ways=3, num_queries=1,
+                                 rng=1)
+        result = GraphPrompterPipeline(trained_model, kg_dataset,
+                                       rng=2).run_episode(episode)
+        assert result.num_queries == 1
+
+    def test_candidates_equal_shots(self, kg_dataset, trained_model):
+        """N == k: the selector has nothing to choose — must still work."""
+        episode = sample_episode(kg_dataset, num_ways=3,
+                                 num_candidates_per_class=3,
+                                 num_queries=6, rng=3)
+        result = GraphPrompterPipeline(trained_model, kg_dataset,
+                                       rng=4).run_episode(episode, shots=3)
+        assert result.num_queries == 6
+
+    def test_query_batch_larger_than_queries(self, kg_dataset,
+                                             trained_model):
+        episode = sample_episode(kg_dataset, num_ways=3, num_queries=4,
+                                 rng=5)
+        result = GraphPrompterPipeline(trained_model, kg_dataset,
+                                       rng=6).run_episode(
+            episode, query_batch_size=64)
+        assert result.num_queries == 4
+
+    def test_cache_size_one(self, kg_dataset, trained_model):
+        config = trained_model.config.ablate(cache_size=1)
+        model = GraphPrompterModel(kg_dataset.graph.feature_dim,
+                                   kg_dataset.graph.num_relations, config)
+        model.load_state_dict(trained_model.state_dict())
+        episode = sample_episode(kg_dataset, num_ways=3, num_queries=12,
+                                 rng=7)
+        pipeline = GraphPrompterPipeline(model, kg_dataset, rng=8)
+        result = pipeline.run_episode(episode, query_batch_size=4)
+        assert len(pipeline.augmenter) <= 1
+        assert result.num_queries == 12
+
+    def test_reset_cache_false_keeps_entries(self, kg_dataset,
+                                             trained_model):
+        episode = sample_episode(kg_dataset, num_ways=3, num_queries=6,
+                                 rng=9)
+        pipeline = GraphPrompterPipeline(trained_model, kg_dataset, rng=10)
+        pipeline.run_episode(episode)
+        filled = len(pipeline.augmenter)
+        assert filled > 0
+        pipeline.run_episode(episode, reset_cache=False)
+        assert len(pipeline.augmenter) >= 1  # cache was not wiped first
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("scorer", ["mlp", "bilinear", "cosine_gate"])
+    def test_full_model_roundtrip(self, tmp_path, scorer):
+        cfg = GraphPrompterConfig(hidden_dim=8, recon_scorer=scorer)
+        model = GraphPrompterModel(16, 4, cfg)
+        path = str(tmp_path / f"model-{scorer}.npz")
+        save_state(model, path)
+        clone = GraphPrompterModel(16, 4, cfg.ablate(seed=99))
+        load_state(clone, path)
+        for (name_a, p_a), (name_b, p_b) in zip(
+                model.named_parameters(), clone.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(p_a.data, p_b.data)
+
+    def test_scorer_mismatch_rejected(self, tmp_path):
+        mlp = GraphPrompterModel(8, 1,
+                                 GraphPrompterConfig(hidden_dim=8))
+        path = str(tmp_path / "mlp.npz")
+        save_state(mlp, path)
+        bilinear = GraphPrompterModel(
+            8, 1, GraphPrompterConfig(hidden_dim=8,
+                                      recon_scorer="bilinear"))
+        with pytest.raises(KeyError):
+            load_state(bilinear, path)
+
+
+class TestSelectorPathologies:
+    def test_all_zero_embeddings(self):
+        """Zero embeddings (cosine undefined) must not produce NaNs."""
+        cfg = GraphPrompterConfig()
+        selector = PromptSelector(cfg, rng=0)
+        candidates = np.zeros((9, 4))
+        labels = np.repeat(np.arange(3), 3)
+        queries = np.zeros((2, 4))
+        selected = selector.select(candidates, np.full(9, 0.5), queries,
+                                   np.full(2, 0.5), labels, shots=2)
+        assert len(selected) == 6
+
+    def test_identical_candidates(self):
+        cfg = GraphPrompterConfig()
+        selector = PromptSelector(cfg, rng=0)
+        candidates = np.ones((6, 4))
+        labels = np.repeat(np.arange(2), 3)
+        queries = np.ones((3, 4))
+        selected = selector.select(candidates, np.ones(6), queries,
+                                   np.ones(3), labels, shots=2)
+        np.testing.assert_array_equal(np.bincount(labels[selected]), [2, 2])
+
+    def test_extreme_magnitudes_stay_finite(self, kg_dataset, trained_model):
+        cfg = trained_model.config
+        selector = PromptSelector(cfg, rng=0)
+        candidates = np.random.default_rng(0).normal(size=(6, 4)) * 1e12
+        labels = np.repeat(np.arange(2), 3)
+        queries = np.random.default_rng(1).normal(size=(2, 4)) * 1e-12
+        scores = selector.scores(candidates, np.ones(6), queries, np.ones(2))
+        assert np.all(np.isfinite(scores))
+
+
+class TestPretrainerFailures:
+    def test_nm_on_too_sparse_graph(self):
+        graph = Graph(10, np.array([0]), np.array([1]),
+                      node_features=np.eye(10),
+                      node_labels=np.arange(10) % 2)
+        dataset = Dataset(graph, NODE_TASK, rng=0)
+        model = GraphPrompterModel(10, 1, GraphPrompterConfig(hidden_dim=4))
+        trainer = Pretrainer(model, dataset,
+                             PretrainConfig(steps=1, num_ways=4), rng=0)
+        with pytest.raises(ValueError):
+            trainer.train()
+
+    def test_mt_without_enough_classes(self):
+        graph = synthetic_citation_graph(40, 2, rng=0)
+        # Collapse labels to one class: multi-task becomes impossible.
+        graph.node_labels[:] = 0
+        dataset = Dataset(graph, NODE_TASK, rng=0)
+        model = GraphPrompterModel(graph.feature_dim, 1,
+                                   GraphPrompterConfig(hidden_dim=4))
+        trainer = Pretrainer(
+            model, dataset,
+            PretrainConfig(steps=1, num_ways=3, neighbor_matching=False),
+            rng=0)
+        with pytest.raises(ValueError):
+            trainer.train()
+
+
+class TestNumericalStability:
+    def test_pipeline_confidences_are_probabilities(self, kg_dataset,
+                                                    trained_model):
+        episode = sample_episode(kg_dataset, num_ways=4, num_queries=16,
+                                 rng=11)
+        result = GraphPrompterPipeline(trained_model, kg_dataset,
+                                       rng=12).run_episode(episode)
+        assert np.all(result.confidences > 0)
+        assert np.all(result.confidences <= 1.0)
+        assert np.all(np.isfinite(result.confidences))
+
+    def test_logits_finite_with_huge_embeddings(self, trained_model):
+        prompts = Tensor(np.random.default_rng(0).normal(size=(6, 12)) * 1e9)
+        queries = Tensor(np.random.default_rng(1).normal(size=(2, 12)) * 1e9)
+        logits = trained_model.task_logits(
+            prompts, np.repeat(np.arange(3), 2), queries, 3)
+        assert np.all(np.isfinite(logits.data))

@@ -1,0 +1,120 @@
+"""Tests for t-SNE, embedding-quality metrics and ascii rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    format_table,
+    intra_inter_ratio,
+    render_series,
+    silhouette_score,
+    tsne,
+)
+
+
+def two_blobs(n_per=20, sep=10.0, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n_per, dim))
+    b = rng.normal(size=(n_per, dim)) + sep
+    x = np.vstack([a, b])
+    labels = np.array([0] * n_per + [1] * n_per)
+    return x, labels
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        x, _ = two_blobs()
+        y = tsne(x, num_dims=2, iterations=60, rng=0)
+        assert y.shape == (40, 2)
+
+    def test_separated_blobs_stay_separated(self):
+        x, labels = two_blobs(sep=25.0)
+        y = tsne(x, iterations=150, rng=0)
+        # After embedding, the blobs should still be linearly separated:
+        # intra/inter ratio well below 1.
+        assert intra_inter_ratio(y, labels) < 0.8
+
+    def test_centered_output(self):
+        x, _ = two_blobs()
+        y = tsne(x, iterations=50, rng=1)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((2, 3)))
+
+    def test_deterministic_given_seed(self):
+        x, _ = two_blobs(n_per=8)
+        a = tsne(x, iterations=30, rng=7)
+        b = tsne(x, iterations=30, rng=7)
+        np.testing.assert_allclose(a, b)
+
+
+class TestEmbeddingQuality:
+    def test_ratio_lower_for_tighter_clusters(self):
+        x_tight, labels = two_blobs(sep=20.0, seed=2)
+        x_loose, _ = two_blobs(sep=2.0, seed=2)
+        assert intra_inter_ratio(x_tight, labels) < intra_inter_ratio(
+            x_loose, labels)
+
+    def test_ratio_validates(self):
+        with pytest.raises(ValueError):
+            intra_inter_ratio(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            intra_inter_ratio(np.zeros((3, 2)), np.zeros(3))  # one class
+
+    def test_silhouette_range_and_ordering(self):
+        x_good, labels = two_blobs(sep=20.0, seed=3)
+        x_bad, _ = two_blobs(sep=0.5, seed=3)
+        s_good = silhouette_score(x_good, labels)
+        s_bad = silhouette_score(x_bad, labels)
+        assert -1.0 <= s_bad <= s_good <= 1.0
+        assert s_good > 0.5
+
+    def test_silhouette_validates_classes(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(4))
+
+
+class TestRenderSeries:
+    def test_contains_markers_and_legend(self):
+        out = render_series([1, 2, 3], {"prodigy": [0.5, 0.6, 0.4],
+                                        "ours": [0.6, 0.7, 0.65]})
+        assert "o prodigy" in out
+        assert "x ours" in out
+        assert "┤" in out
+
+    def test_title_included(self):
+        out = render_series([0, 1], {"a": [1.0, 2.0]}, title="Fig X")
+        assert out.splitlines()[0] == "Fig X"
+
+    def test_flat_series_no_crash(self):
+        out = render_series([0, 1], {"flat": [1.0, 1.0]})
+        assert "flat" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([0, 1], {"a": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            render_series([0, 1], {})
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        out = format_table(["ways", "acc"], [[5, 0.78], [10, 0.65]],
+                           title="Table X")
+        lines = out.splitlines()
+        assert lines[0] == "Table X"
+        assert "ways" in lines[1]
+        assert "0.78" in out
+
+    def test_alignment(self):
+        out = format_table(["m"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator matches header
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [])
