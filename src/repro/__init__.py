@@ -19,10 +19,13 @@ from .core import (
     sample_episode,
 )
 from .datasets import Dataset, load_dataset
+from .serving import PromptServer, ServeResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "PromptServer",
+    "ServeResult",
     "GraphPrompterConfig",
     "prodigy_config",
     "GraphPrompterModel",

@@ -1,7 +1,14 @@
-"""Cache replacement substrate for the Prompt Augmenter."""
+"""Cache replacement substrate for the Prompt Augmenter.
+
+Every policy shares one interface — ``put``/``get``/``peek``/``touch``/
+``frequency``/``items``/``clear`` plus a :meth:`stats` snapshot of its
+hit/miss/insert/evict counters — so the Augmenter and the serving layer's
+per-session ledgers work against any of them.
+"""
 
 from .lfu import LFUCache
 from .policies import FIFOCache, LRUCache
+from .stats import CacheStats
 
 CACHE_POLICIES = {
     "lfu": LFUCache,
@@ -22,5 +29,5 @@ def make_cache(policy: str, capacity: int):
     return cache_cls(capacity)
 
 
-__all__ = ["LFUCache", "LRUCache", "FIFOCache", "CACHE_POLICIES",
-           "make_cache"]
+__all__ = ["LFUCache", "LRUCache", "FIFOCache", "CacheStats",
+           "CACHE_POLICIES", "make_cache"]

@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator
 
+from .stats import CacheStats
+
 __all__ = ["LFUCache"]
 
 
@@ -46,6 +48,10 @@ class LFUCache:
         self._bucket_of: dict[Hashable, _FrequencyBucket] = {}
         # Sentinel head simplifies bucket insertion/removal.
         self._head = _FrequencyBucket(0)
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Bucket list maintenance
@@ -90,7 +96,9 @@ class LFUCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the value for ``key`` and count the access."""
         if key not in self._values:
+            self._misses += 1
             return default
+        self._hits += 1
         self._bump(key)
         return self._values[key]
 
@@ -101,7 +109,9 @@ class LFUCache:
     def touch(self, key: Hashable) -> bool:
         """Record a hit on ``key`` (the Augmenter's similarity-hit update)."""
         if key not in self._values:
+            self._misses += 1
             return False
+        self._hits += 1
         self._bump(key)
         return True
 
@@ -119,6 +129,8 @@ class LFUCache:
         evicted = None
         if len(self._values) >= self.capacity:
             evicted = self._evict()
+            self._evictions += 1
+        self._insertions += 1
         first = self._head.next
         if first is None or first.frequency != 1:
             first = _FrequencyBucket(1)
@@ -154,10 +166,19 @@ class LFUCache:
         for key, _ in self.items():
             yield key
 
+    def stats(self) -> CacheStats:
+        """Size plus lifetime hit/miss/insert/evict counters."""
+        return CacheStats(size=len(self), capacity=self.capacity,
+                          hits=self._hits, misses=self._misses,
+                          insertions=self._insertions,
+                          evictions=self._evictions)
+
     def clear(self) -> None:
         self._values.clear()
         self._bucket_of.clear()
         self._head.next = None
+        self._hits = self._misses = 0
+        self._insertions = self._evictions = 0
 
     def __repr__(self) -> str:
         return f"LFUCache(capacity={self.capacity}, size={len(self)})"

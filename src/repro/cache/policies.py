@@ -16,10 +16,34 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator
 
+from .stats import CacheStats
+
 __all__ = ["LRUCache", "FIFOCache"]
 
 
-class LRUCache:
+class _StatCounters:
+    """Mixin holding the shared hit/miss/insert/evict counters."""
+
+    capacity: int
+
+    def _reset_counters(self) -> None:
+        self._stat_hits = 0
+        self._stat_misses = 0
+        self._stat_insertions = 0
+        self._stat_evictions = 0
+
+    def stats(self) -> CacheStats:
+        """Size plus lifetime hit/miss/insert/evict counters."""
+        return CacheStats(size=len(self), capacity=self.capacity,
+                          hits=self._stat_hits, misses=self._stat_misses,
+                          insertions=self._stat_insertions,
+                          evictions=self._stat_evictions)
+
+    def __len__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class LRUCache(_StatCounters):
     """Bounded mapping with least-recently-used eviction."""
 
     def __init__(self, capacity: int):
@@ -28,6 +52,7 @@ class LRUCache:
         self.capacity = capacity
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._hits: dict[Hashable, int] = {}
+        self._reset_counters()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -37,9 +62,11 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         if key not in self._data:
+            self._stat_misses += 1
             return default
         self._data.move_to_end(key)
         self._hits[key] = self._hits.get(key, 0) + 1
+        self._stat_hits += 1
         return self._data[key]
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
@@ -47,9 +74,11 @@ class LRUCache:
 
     def touch(self, key: Hashable) -> bool:
         if key not in self._data:
+            self._stat_misses += 1
             return False
         self._data.move_to_end(key)
         self._hits[key] = self._hits.get(key, 0) + 1
+        self._stat_hits += 1
         return True
 
     def frequency(self, key: Hashable) -> int:
@@ -62,9 +91,12 @@ class LRUCache:
         evicted = None
         if key in self._data:
             self._data.move_to_end(key)
-        elif len(self._data) >= self.capacity:
-            evicted, _ = self._data.popitem(last=False)
-            self._hits.pop(evicted, None)
+        else:
+            if len(self._data) >= self.capacity:
+                evicted, _ = self._data.popitem(last=False)
+                self._hits.pop(evicted, None)
+                self._stat_evictions += 1
+            self._stat_insertions += 1
         self._data[key] = value
         return evicted
 
@@ -83,12 +115,13 @@ class LRUCache:
     def clear(self) -> None:
         self._data.clear()
         self._hits.clear()
+        self._reset_counters()
 
     def __repr__(self) -> str:
         return f"LRUCache(capacity={self.capacity}, size={len(self)})"
 
 
-class FIFOCache:
+class FIFOCache(_StatCounters):
     """Bounded mapping with first-in-first-out eviction (hits ignored)."""
 
     def __init__(self, capacity: int):
@@ -97,6 +130,7 @@ class FIFOCache:
         self.capacity = capacity
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._hits: dict[Hashable, int] = {}
+        self._reset_counters()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -107,6 +141,9 @@ class FIFOCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         if key in self._data:
             self._hits[key] = self._hits.get(key, 0) + 1
+            self._stat_hits += 1
+        else:
+            self._stat_misses += 1
         return self._data.get(key, default)
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
@@ -114,8 +151,10 @@ class FIFOCache:
 
     def touch(self, key: Hashable) -> bool:
         if key not in self._data:
+            self._stat_misses += 1
             return False
         self._hits[key] = self._hits.get(key, 0) + 1
+        self._stat_hits += 1
         return True
 
     def frequency(self, key: Hashable) -> int:
@@ -131,6 +170,8 @@ class FIFOCache:
         if len(self._data) >= self.capacity:
             evicted, _ = self._data.popitem(last=False)
             self._hits.pop(evicted, None)
+            self._stat_evictions += 1
+        self._stat_insertions += 1
         self._data[key] = value
         return evicted
 
@@ -149,6 +190,7 @@ class FIFOCache:
     def clear(self) -> None:
         self._data.clear()
         self._hits.clear()
+        self._reset_counters()
 
     def __repr__(self) -> str:
         return f"FIFOCache(capacity={self.capacity}, size={len(self)})"

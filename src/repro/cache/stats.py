@@ -1,0 +1,38 @@
+"""Uniform usage counters for the Augmenter cache policies.
+
+Every cache policy (LFU/LRU/FIFO) tracks the same four events so the
+Prompt Augmenter — and the serving layer's per-session ledgers — can report
+cache behaviour without knowing which policy is installed:
+
+* ``hits`` — successful ``get``/``touch`` lookups,
+* ``misses`` — lookups of absent keys,
+* ``insertions`` — ``put`` calls that added a *new* key,
+* ``evictions`` — entries displaced to make room.
+
+``clear()`` resets the counters together with the contents, so one episode's
+statistics never leak into the next evaluation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache's size and lifetime usage counters."""
+
+    size: int
+    capacity: int
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0

@@ -20,6 +20,7 @@ from .experiments import (
     ablation_cache_policy,
     ablation_knn_metric,
     ablation_recon_scorer,
+    serve_bench,
     fig3_ablation,
     fig4_gnn_architectures,
     fig5_cache_size,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "ablation-knn": (ablation_knn_metric, "retrieval metric sweep"),
     "ablation-cache": (ablation_cache_policy, "cache policy sweep"),
     "ablation-recon": (ablation_recon_scorer, "reconstruction scorer sweep"),
+    "serve-bench": (serve_bench, "online serving micro-batch throughput"),
 }
 
 
@@ -86,8 +88,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
-        for name, (_, description) in EXPERIMENTS.items():
-            print(f"  {name:<{width}}  {description}")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name:<{width}}  {EXPERIMENTS[name][1]}")
         return 0
 
     if args.experiment == "all":
@@ -96,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.experiment]
     else:
         print(f"unknown experiment {args.experiment!r}; "
-              f"try: {', '.join(EXPERIMENTS)} | all | list",
+              f"try: {', '.join(sorted(EXPERIMENTS))} | all | list",
               file=sys.stderr)
         return 2
 
@@ -105,14 +107,35 @@ def main(argv: list[str] | None = None) -> int:
         fast=args.fast,
         use_disk_cache=not args.no_disk_cache,
     )
+    timings: list[tuple[str, float, str]] = []
+    failed = False
     for name in names:
         runner, _ = EXPERIMENTS[name]
         start = time.perf_counter()
-        result = runner(context)
+        try:
+            result = runner(context)
+        except Exception as error:  # keep going: report all failures at once
+            elapsed = time.perf_counter() - start
+            timings.append((name, elapsed, "FAILED"))
+            failed = True
+            print(f"[{name} FAILED after {elapsed:.1f}s: "
+                  f"{type(error).__name__}: {error}]\n", file=sys.stderr)
+            continue
         elapsed = time.perf_counter() - start
+        timings.append((name, elapsed, "ok"))
         print(result)
         print(f"[{name} finished in {elapsed:.1f}s]\n")
-    return 0
+
+    if len(names) > 1:
+        from .viz import format_table
+
+        rows = [[name, f"{elapsed:.1f}", status]
+                for name, elapsed, status in timings]
+        rows.append(["total", f"{sum(t for _, t, _ in timings):.1f}",
+                     "FAILED" if failed else "ok"])
+        print(format_table(["Experiment", "Seconds", "Status"], rows,
+                           title="Wall-clock summary"))
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

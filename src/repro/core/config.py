@@ -60,6 +60,12 @@ class GraphPrompterConfig:
     random_pseudo_labels:
         Table VII ablation — fill the cache with random queries instead of
         the most confident ones.
+    deterministic_sampling:
+        Seed each datapoint's subgraph sampler by the datapoint identity
+        instead of one shared stream, so subgraphs are independent of call
+        order.  Required by the online serving path (batched == unbatched
+        predictions) and by split streaming episodes that must replay a
+        merged run exactly.
     """
 
     hidden_dim: int = 32
@@ -79,6 +85,7 @@ class GraphPrompterConfig:
     knn_metric: str = "cosine"
     temperature: float = 10.0
     random_pseudo_labels: bool = False
+    deterministic_sampling: bool = False
     seed: int = 0
 
     def validate(self) -> "GraphPrompterConfig":

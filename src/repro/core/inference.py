@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..datasets.base import Dataset
+from ..eval.metrics import safe_accuracy
 from ..nn import Tensor, no_grad
 from .config import GraphPrompterConfig
 from .episodes import Episode
@@ -43,9 +44,7 @@ class EpisodeResult:
 
     @property
     def accuracy(self) -> float:
-        if self.labels.size == 0:
-            return float("nan")
-        return float((self.predictions == self.labels).mean())
+        return safe_accuracy(self.predictions, self.labels)
 
     @property
     def num_queries(self) -> int:
@@ -61,8 +60,10 @@ class GraphPrompterPipeline:
         self.dataset = dataset
         self.config: GraphPrompterConfig = model.config
         self.rng = np.random.default_rng(rng)
-        self.generator = PromptGenerator(dataset.graph, model.config,
-                                         rng=self.rng)
+        self.generator = PromptGenerator(
+            dataset.graph, model.config, rng=self.rng,
+            deterministic=model.config.deterministic_sampling,
+            salt=model.config.seed)
         self.selector = PromptSelector(model.config, rng=self.rng)
         self.augmenter = PromptAugmenter(model.config, rng=self.rng)
 
@@ -75,48 +76,24 @@ class GraphPrompterPipeline:
         call — use when streaming one logical episode through several
         ``run_episode`` invocations.
         """
-        model = self.model
-        model.eval()
+        self.model.eval()
         if reset_cache:
             self.augmenter.reset()
-        config = self.config
-        adaptive = config.use_knn or config.use_selection_layers
 
         with no_grad():
-            if adaptive:
-                # GraphPrompter pays for encoding the full candidate pool —
-                # the selector needs every embedding (Eqs. 5–8).
-                candidate_pool = episode.candidates
-                pool_labels = episode.candidate_labels
-            else:
-                # Prodigy only ever encodes its random k-shot choice
-                # (Sec. V-A3), so its per-query cost excludes the pool.
-                selected = self.selector.select(
-                    np.zeros((len(episode.candidates), 0)),
-                    np.zeros(len(episode.candidates)),
-                    np.zeros((1, 0)), np.zeros(1),
-                    episode.candidate_labels, shots)
-                candidate_pool = [episode.candidates[i] for i in selected]
-                pool_labels = episode.candidate_labels[selected]
-            candidate_subgraphs = self.generator.subgraphs_for(candidate_pool)
-            candidate_emb_t = model.encode_subgraphs(candidate_subgraphs)
-            candidate_importance = model.importance(candidate_emb_t).data
-            candidate_emb = candidate_emb_t.data
+            candidate_emb, candidate_importance, pool_labels = \
+                self.encode_candidate_pool(episode, shots)
 
             predictions: list[np.ndarray] = []
             confidences: list[np.ndarray] = []
             insertions = 0
             for start in range(0, episode.num_queries, query_batch_size):
                 batch_queries = episode.queries[start:start + query_batch_size]
-                query_subgraphs = self.generator.subgraphs_for(batch_queries)
-                query_emb_t = model.encode_subgraphs(query_subgraphs)
-                query_importance = model.importance(query_emb_t).data
-                query_emb = query_emb_t.data
+                query_emb, query_importance = self.encode_points(batch_queries)
 
-                preds, confs, inserted = self._predict_batch(
-                    episode, candidate_emb, candidate_importance,
-                    pool_labels, query_emb, query_importance, shots,
-                    adaptive)
+                preds, confs, inserted = self.predict_batch(
+                    candidate_emb, candidate_importance, pool_labels,
+                    query_emb, query_importance, episode.num_ways, shots)
                 predictions.append(preds)
                 confidences.append(confs)
                 insertions += inserted
@@ -129,14 +106,62 @@ class GraphPrompterPipeline:
         )
 
     # ------------------------------------------------------------------
-    def _predict_batch(self, episode: Episode, candidate_emb: np.ndarray,
-                       candidate_importance: np.ndarray,
-                       pool_labels: np.ndarray,
-                       query_emb: np.ndarray, query_importance: np.ndarray,
-                       shots: int, adaptive: bool
-                       ) -> tuple[np.ndarray, np.ndarray, int]:
-        """Select → augment → predict → cache-update for one query batch."""
+    # Public per-batch API — shared by the offline episode runner above and
+    # the online serving path (repro.serving), which injects per-session
+    # Augmenter caches.
+    # ------------------------------------------------------------------
+    def encode_points(self, datapoints: list
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample + encode datapoints; returns ``(embeddings, importance)``."""
+        with no_grad():
+            emb_t = self.model.encode_subgraphs(
+                self.generator.subgraphs_for(datapoints))
+            importance = self.model.importance(emb_t).data
+        return emb_t.data, importance
+
+    def encode_candidate_pool(self, episode: Episode, shots: int
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Embeddings/importance/labels of the episode's prompt pool.
+
+        Returns the pool the per-batch prediction step works against:
+        the *full* candidate set under adaptive selection, or Prodigy's
+        random k-shot choice when every selection stage is disabled.
+        """
         config = self.config
+        if config.use_knn or config.use_selection_layers:
+            # GraphPrompter pays for encoding the full candidate pool —
+            # the selector needs every embedding (Eqs. 5–8).
+            candidate_pool = episode.candidates
+            pool_labels = episode.candidate_labels
+        else:
+            # Prodigy only ever encodes its random k-shot choice
+            # (Sec. V-A3), so its per-query cost excludes the pool.
+            selected = self.selector.select(
+                np.zeros((len(episode.candidates), 0)),
+                np.zeros(len(episode.candidates)),
+                np.zeros((1, 0)), np.zeros(1),
+                episode.candidate_labels, shots)
+            candidate_pool = [episode.candidates[i] for i in selected]
+            pool_labels = episode.candidate_labels[selected]
+        candidate_emb, candidate_importance = \
+            self.encode_points(list(candidate_pool))
+        return candidate_emb, candidate_importance, pool_labels
+
+    def predict_batch(self, candidate_emb: np.ndarray,
+                      candidate_importance: np.ndarray,
+                      pool_labels: np.ndarray,
+                      query_emb: np.ndarray, query_importance: np.ndarray,
+                      num_ways: int, shots: int,
+                      augmenter: PromptAugmenter | None = None
+                      ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Select → augment → predict → cache-update for one query batch.
+
+        ``augmenter`` overrides the pipeline-owned cache — the serving layer
+        passes each session's private :class:`PromptAugmenter` here.
+        """
+        config = self.config
+        augmenter = augmenter if augmenter is not None else self.augmenter
+        adaptive = config.use_knn or config.use_selection_layers
         if adaptive:
             selected = self.selector.select(
                 candidate_emb, candidate_importance, query_emb,
@@ -149,23 +174,22 @@ class GraphPrompterPipeline:
         if config.use_selection_layers:
             prompt_emb = prompt_emb * candidate_importance[selected, None]
 
-        if config.use_augmenter and len(self.augmenter):
-            cache_emb, cache_labels = self.augmenter.cached_prompts()
+        if config.use_augmenter and len(augmenter):
+            cache_emb, cache_labels = augmenter.cached_prompts()
             prompt_emb = np.concatenate([prompt_emb, cache_emb], axis=0)
             prompt_labels = np.concatenate([prompt_labels, cache_labels])
 
         logits = self.model.task_logits(
-            Tensor(prompt_emb), prompt_labels, Tensor(query_emb),
-            episode.num_ways)
+            Tensor(prompt_emb), prompt_labels, Tensor(query_emb), num_ways)
         preds, confs = self.model.predict(logits)
 
         inserted = 0
         if config.use_augmenter:
-            self.augmenter.record_hits(query_emb, shots)
+            augmenter.record_hits(query_emb, shots)
             # Once a query becomes a cached prompt it plays a prompt's role,
             # so store it importance-weighted like the selected prompts.
             stored = query_emb
             if config.use_selection_layers:
                 stored = query_emb * query_importance[:, None]
-            inserted = self.augmenter.update(stored, preds, confs)
+            inserted = augmenter.update(stored, preds, confs)
         return preds, confs, inserted

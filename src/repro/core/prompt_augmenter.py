@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..cache import make_cache
+from ..cache import CacheStats, make_cache
 from .config import GraphPrompterConfig
 from .prompt_selector import pairwise_similarity
 
@@ -106,7 +106,11 @@ class PromptAugmenter:
             inserted += 1
         return inserted
 
+    def stats(self) -> CacheStats:
+        """Usage counters of the underlying cache (any policy)."""
+        return self.cache.stats()
+
     def reset(self) -> None:
-        """Empty the cache (between evaluation runs)."""
+        """Empty the cache and its counters (between evaluation runs)."""
         self.cache.clear()
         self._next_key = 0

@@ -19,13 +19,33 @@ __all__ = ["PromptGenerator"]
 
 
 class PromptGenerator:
-    """Samples data graphs ``G_i^D`` for datapoints of one source graph."""
+    """Samples data graphs ``G_i^D`` for datapoints of one source graph.
+
+    With ``deterministic=True`` every datapoint gets its own RNG seeded by
+    its identity (seed nodes + relation + ``salt``) instead of drawing from
+    one shared stream.  The sampled subgraph then depends only on the
+    datapoint, never on *when* or *with whom* it is sampled — the property
+    the serving layer relies on to keep micro-batched predictions identical
+    to per-query ones, and what makes split streaming episodes reproduce a
+    merged run exactly.
+    """
 
     def __init__(self, graph: Graph, config: GraphPrompterConfig,
-                 rng: np.random.Generator | int | None = None):
+                 rng: np.random.Generator | int | None = None,
+                 deterministic: bool = False, salt: int = 0):
         self.graph = graph
         self.config = config.validate()
         self.rng = np.random.default_rng(rng)
+        self.deterministic = deterministic
+        self.salt = salt
+
+    def _rng_for(self, datapoint: Datapoint) -> np.random.Generator:
+        if not self.deterministic:
+            return self.rng
+        material = [self.salt] + [int(n) for n in datapoint.nodes]
+        if datapoint.relation is not None:
+            material.append(int(datapoint.relation))
+        return np.random.default_rng(material)
 
     def subgraph_for(self, datapoint: Datapoint) -> Subgraph:
         """Sample one data graph (Eq. 1) with the configured strategy."""
@@ -34,7 +54,7 @@ class PromptGenerator:
             datapoint,
             num_hops=self.config.num_hops,
             max_nodes=self.config.max_subgraph_nodes,
-            rng=self.rng,
+            rng=self._rng_for(datapoint),
             method=self.config.sampling_method,
         )
 

@@ -1,7 +1,7 @@
 """Evaluation harness: metrics, episode runner and timing."""
 
 from .harness import EvaluationSetting, Method, compare_methods, evaluate_method
-from .metrics import MethodScore, accuracy, bootstrap_ci
+from .metrics import MethodScore, accuracy, bootstrap_ci, safe_accuracy
 from .timing import TimingResult, time_method
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "compare_methods",
     "MethodScore",
     "accuracy",
+    "safe_accuracy",
     "bootstrap_ci",
     "TimingResult",
     "time_method",

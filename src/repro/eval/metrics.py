@@ -6,18 +6,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["accuracy", "MethodScore", "bootstrap_ci"]
+__all__ = ["accuracy", "safe_accuracy", "MethodScore", "bootstrap_ci"]
 
 
-def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
-    """Fraction of correct predictions."""
+def safe_accuracy(predictions: np.ndarray, labels: np.ndarray,
+                  empty_value: float = float("nan")) -> float:
+    """Fraction of correct predictions; ``empty_value`` for zero samples.
+
+    The single definition of episode accuracy shared by every consumer
+    (``EpisodeResult``, the evaluation harness, the serving ledger), so an
+    empty-label episode behaves identically everywhere instead of each call
+    site improvising its own ``nan`` handling.
+    """
     predictions = np.asarray(predictions)
     labels = np.asarray(labels)
     if predictions.shape != labels.shape:
         raise ValueError("predictions and labels must have the same shape")
     if labels.size == 0:
-        raise ValueError("cannot compute accuracy of zero samples")
+        return float(empty_value)
     return float((predictions == labels).mean())
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions; raises on zero samples."""
+    if np.asarray(labels).size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return safe_accuracy(predictions, labels)
 
 
 @dataclass

@@ -17,6 +17,7 @@ from .figures import (
     fig9_training_curves,
 )
 from .grids import accuracy_grid
+from .serving import serve_bench
 from .tables import (
     table2_dataset_statistics,
     table3_arxiv,
@@ -36,6 +37,7 @@ __all__ = [
     "ablation_cache_policy",
     "ablation_recon_scorer",
     "accuracy_grid",
+    "serve_bench",
     "table2_dataset_statistics",
     "table3_arxiv",
     "table4_kg",

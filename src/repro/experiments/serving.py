@@ -1,0 +1,98 @@
+"""serve-bench — online serving throughput vs. per-query baseline.
+
+Not a paper artifact: this experiment characterises the serving subsystem
+(:mod:`repro.serving`) that operationalises the paper's streaming claim
+(Alg. 2 / Fig. 5).  A fixed multi-session workload — round-robin
+interleaved queries from several concurrent episodes — is replayed through
+:class:`PromptServer` at several ``max_batch_size`` settings:
+
+* ``batch = 1`` is per-query serving (every query pays a full GNN launch);
+* larger batches coalesce queries *across sessions* into one encoder pass.
+
+Reported per batch size: queries/sec over the whole workload, the speedup
+vs. per-query serving, p50/p95 micro-batch service latency, and whether
+predictions stayed identical to the per-query run (they must — batching is
+a pure throughput optimization).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import GraphPrompterModel, sample_episode
+from ..serving import PromptServer
+from .common import ExperimentContext, TableResult, default_config
+
+__all__ = ["serve_bench"]
+
+
+def serve_bench(context: ExperimentContext,
+                batch_sizes=(1, 4, 16),
+                source: str = "wiki", target: str = "nell",
+                num_ways: int = 5, seed: int = 0) -> TableResult:
+    """Cross-session micro-batching throughput on one fixed workload."""
+    config = default_config()
+    state = context.pretrained_state(source)
+    dataset = context.dataset(target)
+    num_sessions = 4 if context.fast else 8
+    queries_per_session = 6 if context.fast else 24
+
+    model = GraphPrompterModel(dataset.graph.feature_dim,
+                               dataset.graph.num_relations, config)
+    model.load_state_dict(state)
+
+    episodes = [
+        sample_episode(dataset, num_ways=num_ways,
+                       num_queries=queries_per_session,
+                       rng=seed * 1000 + i)
+        for i in range(num_sessions)
+    ]
+
+    headers = ["Batch", "Queries/s", "Speedup", "p50 ms", "p95 ms",
+               "Mean batch", "Identical"]
+    rows = []
+    data = {"batch_sizes": list(batch_sizes), "cells": {}}
+    reference = None
+    baseline_qps = None
+    for batch_size in batch_sizes:
+        server = PromptServer(model, dataset, max_batch_size=batch_size,
+                              rng=seed)
+        for i, episode in enumerate(episodes):
+            server.open_session(f"session-{i}", episode)
+
+        start = time.perf_counter()
+        # Round-robin arrival: sessions interleave, so a micro-batch mixes
+        # queries from many tenants — the cross-session coalescing case.
+        for q in range(queries_per_session):
+            for i, episode in enumerate(episodes):
+                server.submit(f"session-{i}", episode.queries[q])
+        results = server.drain()
+        elapsed = time.perf_counter() - start
+
+        qps = len(results) / elapsed
+        if baseline_qps is None:
+            baseline_qps = qps
+        service_ms = 1000.0 * np.asarray([r.service_s for r in results])
+        p50, p95 = np.percentile(service_ms, [50, 95])
+        predictions = [(r.session_id, r.prediction) for r in results]
+        identical = reference is None or predictions == reference
+        if reference is None:
+            reference = predictions
+
+        data["cells"][batch_size] = {
+            "qps": qps, "speedup": qps / baseline_qps,
+            "p50_ms": float(p50), "p95_ms": float(p95),
+            "mean_batch": server.stats.mean_batch_size,
+            "identical": identical, "results": results,
+        }
+        rows.append([batch_size, f"{qps:.1f}",
+                     f"{qps / baseline_qps:.2f}x",
+                     f"{p50:.2f}", f"{p95:.2f}",
+                     f"{server.stats.mean_batch_size:.1f}",
+                     "yes" if identical else "NO"])
+    return TableResult(
+        title=(f"serve-bench: {num_sessions} sessions × "
+               f"{queries_per_session} queries, {num_ways}-way {target}"),
+        headers=headers, rows=rows, data=data)

@@ -1,0 +1,29 @@
+"""Online serving subsystem: sessions, micro-batching, and the server façade.
+
+The offline entry point (:meth:`GraphPrompterPipeline.run_episode`) assumes
+one caller and one episode; this package serves a *stream* of single-query
+requests from many concurrent logical sessions with the same three-stage
+pipeline:
+
+* :class:`SessionStore` — one Augmenter cache + encoded candidate pool per
+  session, with LRU/TTL eviction and a per-session stats ledger;
+* :class:`MicroBatchScheduler` — coalesces pending queries across sessions
+  into one GNN encoding pass (max-batch-size / max-wait policy);
+* :class:`PromptServer` — ``open_session`` / ``submit`` / ``drain`` façade,
+  warm-startable from the shared disk artifact cache.
+"""
+
+from .scheduler import MicroBatchScheduler, PendingRequest
+from .server import PromptServer, ServeResult, ServerStats
+from .session import SessionState, SessionStats, SessionStore
+
+__all__ = [
+    "MicroBatchScheduler",
+    "PendingRequest",
+    "PromptServer",
+    "ServeResult",
+    "ServerStats",
+    "SessionState",
+    "SessionStats",
+    "SessionStore",
+]

@@ -1,0 +1,79 @@
+"""Cross-session micro-batching of the GNN encoding hot path.
+
+Per-query cost is dominated by encoding the query's data graph (Table VIII
+measures the GNN pass as the bulk of inference time), and the encoder is a
+batched disjoint-union pass — encoding 16 subgraphs in one call costs far
+less than 16 single-subgraph calls.  The scheduler therefore coalesces
+pending queries *across sessions* into micro-batches:
+
+* a batch is released when ``max_batch_size`` requests are waiting, or
+* when the oldest request has waited ``max_wait_s`` (latency bound), or
+* unconditionally on ``drain`` (flush).
+
+Requests leave in strict arrival order, which is what keeps micro-batched
+serving *numerically identical* to per-query serving: each session's cache
+updates replay in the same order either way.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..graph.datapoints import Datapoint
+
+__all__ = ["PendingRequest", "MicroBatchScheduler"]
+
+
+@dataclass(frozen=True)
+class PendingRequest:
+    """One enqueued query waiting for a micro-batch slot."""
+
+    request_id: int
+    session_id: str
+    datapoint: Datapoint
+    submitted_at: float
+
+
+class MicroBatchScheduler:
+    """Max-batch-size / max-wait-time micro-batch release policy."""
+
+    def __init__(self, max_batch_size: int = 16, max_wait_s: float = 0.0,
+                 clock=time.monotonic):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.clock = clock
+        self._queue: "deque[PendingRequest]" = deque()
+        self._next_request_id = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def submit(self, session_id: str, datapoint: Datapoint) -> int:
+        """Enqueue one query; returns its ticket (request id)."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self._queue.append(PendingRequest(
+            request_id=request_id, session_id=session_id,
+            datapoint=datapoint, submitted_at=self.clock()))
+        return request_id
+
+    def ready(self) -> bool:
+        """Should a micro-batch be released right now?"""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch_size:
+            return True
+        return self.clock() - self._queue[0].submitted_at >= self.max_wait_s
+
+    def next_batch(self) -> list[PendingRequest]:
+        """Pop up to ``max_batch_size`` requests in arrival order."""
+        batch = []
+        while self._queue and len(batch) < self.max_batch_size:
+            batch.append(self._queue.popleft())
+        return batch

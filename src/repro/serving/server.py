@@ -1,0 +1,257 @@
+"""Online inference façade: many sessions, one model, micro-batched encoding.
+
+:class:`PromptServer` turns the offline episode runner into a serving loop:
+
+* ``open_session`` — bind a session id to an episode definition; the
+  candidate pool is encoded **once** and reused for every query of the
+  session (the amortization the offline runner only got within one call).
+* ``submit`` — enqueue a single query for a session; returns a ticket.
+* ``step`` / ``drain`` — release micro-batches: all pending queries, across
+  sessions, are encoded in **one** GNN pass (the per-query cost driver),
+  then each query runs the Selector → Augmenter → task-graph step against
+  its own session's state, in strict arrival order.
+
+Because prediction stays per-query (only the encoder is batched) and
+subgraph sampling is deterministic per datapoint, serving with any
+``max_batch_size`` produces bit-identical predictions to per-query serving
+— micro-batching is purely a throughput optimization.
+
+The server is synchronous and single-threaded by design: the numpy substrate
+releases no GIL worth exploiting, and a deterministic drain loop keeps the
+batching policy testable.  ``clock`` is injectable for TTL tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import GraphPrompterConfig
+from ..core.episodes import Episode
+from ..core.inference import GraphPrompterPipeline
+from ..core.model import GraphPrompterModel
+from ..core.prompt_augmenter import PromptAugmenter
+from ..datasets.base import Dataset
+from ..graph.datapoints import Datapoint
+from .scheduler import MicroBatchScheduler, PendingRequest
+from .session import SessionState, SessionStore
+
+__all__ = ["ServeResult", "ServerStats", "PromptServer"]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Answer to one submitted query."""
+
+    request_id: int
+    session_id: str
+    prediction: int
+    confidence: float
+    batch_size: int
+    wait_s: float
+    service_s: float
+    error: str | None = None
+
+    @property
+    def latency_s(self) -> float:
+        """Queue wait plus micro-batch service time."""
+        return self.wait_s + self.service_s
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Snapshot of server-level counters across all sessions."""
+
+    queries: int = 0
+    batches: int = 0
+    encoded_subgraphs: int = 0
+    sessions_opened: int = 0
+    sessions_evicted: int = 0
+    sessions_expired: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.encoded_subgraphs / self.batches if self.batches else 0.0
+
+
+class PromptServer:
+    """Multi-session online GraphPrompter inference over one dataset."""
+
+    def __init__(self, model: GraphPrompterModel, dataset: Dataset,
+                 max_batch_size: int = 16, max_wait_s: float = 0.0,
+                 session_capacity: int = 64,
+                 session_ttl_s: float | None = None,
+                 result_buffer_size: int = 4096,
+                 rng: np.random.Generator | int | None = None,
+                 clock=time.monotonic):
+        if result_buffer_size < 1:
+            raise ValueError("result_buffer_size must be at least 1")
+        model.eval()
+        self.model = model
+        self.dataset = dataset
+        self.config: GraphPrompterConfig = model.config
+        self.rng = np.random.default_rng(rng)
+        self.clock = clock
+        self.pipeline = GraphPrompterPipeline(model, dataset, rng=self.rng)
+        # Serving requires order-independent subgraphs: the same query must
+        # encode identically whether it rides a batch of 1 or 16.
+        self.pipeline.generator.deterministic = True
+        self.scheduler = MicroBatchScheduler(max_batch_size=max_batch_size,
+                                             max_wait_s=max_wait_s,
+                                             clock=clock)
+        self.sessions = SessionStore(capacity=session_capacity,
+                                     ttl_seconds=session_ttl_s, clock=clock)
+        self._queries = 0
+        self._batches = 0
+        self._encoded_subgraphs = 0
+        self._sessions_opened = 0
+        # Completed results kept for ticket lookup; bounded so a
+        # long-running server does not grow with total queries served
+        # (oldest results fall out first — callers collect promptly).
+        self.result_buffer_size = result_buffer_size
+        self._results: "OrderedDict[int, ServeResult]" = OrderedDict()
+
+    @property
+    def stats(self) -> ServerStats:
+        """Current counter snapshot (session counters from the store)."""
+        return ServerStats(
+            queries=self._queries, batches=self._batches,
+            encoded_subgraphs=self._encoded_subgraphs,
+            sessions_opened=self._sessions_opened,
+            sessions_evicted=self.sessions.evicted_total,
+            sessions_expired=self.sessions.expired_total)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(self, session_id: str, episode: Episode,
+                     shots: int = 3) -> SessionState:
+        """Bind ``session_id`` to an episode; encodes its pool once."""
+        candidate_emb, candidate_importance, pool_labels = \
+            self.pipeline.encode_candidate_pool(episode, shots)
+        augmenter = PromptAugmenter(
+            self.config, rng=np.random.default_rng(self.rng.integers(2**32)))
+        state = SessionState(
+            session_id=session_id, num_ways=episode.num_ways, shots=shots,
+            candidate_emb=candidate_emb,
+            candidate_importance=candidate_importance,
+            pool_labels=pool_labels, augmenter=augmenter)
+        self.sessions.put(state)
+        self._sessions_opened += 1
+        return state
+
+    def close_session(self, session_id: str) -> SessionState | None:
+        """Drop a session's cache and ledger; returns the final state."""
+        return self.sessions.close(session_id)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, datapoint: Datapoint) -> int:
+        """Enqueue one query for ``session_id``; returns its ticket.
+
+        Raises ``KeyError`` when the session is unknown (never opened,
+        evicted, or expired) — callers re-open and resubmit.
+        """
+        self.sessions.sweep()
+        self.sessions.get(session_id)  # liveness check + recency touch
+        return self.scheduler.submit(session_id, datapoint)
+
+    def result(self, request_id: int) -> ServeResult | None:
+        """Completed result for a ticket, if its batch has run."""
+        return self._results.get(request_id)
+
+    def step(self, force: bool = False) -> list[ServeResult]:
+        """Run one micro-batch if the release policy fires (or ``force``)."""
+        self.sessions.sweep()
+        if not (force or self.scheduler.ready()):
+            return []
+        batch = self.scheduler.next_batch()
+        if not batch:
+            return []
+        return self._process(batch)
+
+    def drain(self) -> list[ServeResult]:
+        """Flush the queue completely; returns results in arrival order."""
+        results: list[ServeResult] = []
+        while len(self.scheduler):
+            results.extend(self.step(force=True))
+        return results
+
+    # ------------------------------------------------------------------
+    def _process(self, batch: list[PendingRequest]) -> list[ServeResult]:
+        """One coalesced encoder pass, then per-session scatter."""
+        start = self.clock()
+        # Hot path: every pending subgraph — across sessions — in one
+        # disjoint-union GNN pass.
+        emb, importance = self.pipeline.encode_points(
+            [request.datapoint for request in batch])
+        results = []
+        for i, request in enumerate(batch):
+            wait_s = max(start - request.submitted_at, 0.0)
+            try:
+                session = self.sessions.get(request.session_id)
+            except KeyError:
+                results.append(ServeResult(
+                    request_id=request.request_id,
+                    session_id=request.session_id,
+                    prediction=-1, confidence=0.0, batch_size=len(batch),
+                    wait_s=wait_s, service_s=0.0, error="session-expired"))
+                continue
+            # Prediction stays per-query and in arrival order, so each
+            # session's Augmenter cache evolves exactly as it would under
+            # per-query serving — batching never changes answers.
+            preds, confs, inserted = self.pipeline.predict_batch(
+                session.candidate_emb, session.candidate_importance,
+                session.pool_labels, emb[i:i + 1], importance[i:i + 1],
+                session.num_ways, session.shots,
+                augmenter=session.augmenter)
+            service_s = max(self.clock() - start, 0.0)
+            session.stats.record(wait_s, service_s, inserted, self.clock())
+            results.append(ServeResult(
+                request_id=request.request_id,
+                session_id=request.session_id,
+                prediction=int(preds[0]), confidence=float(confs[0]),
+                batch_size=len(batch), wait_s=wait_s, service_s=service_s))
+        self._queries += sum(r.ok for r in results)
+        self._batches += 1
+        self._encoded_subgraphs += len(batch)
+        for result in results:
+            self._results[result.request_id] = result
+        while len(self._results) > self.result_buffer_size:
+            self._results.popitem(last=False)
+        return results
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pretrained(cls, source: str, dataset: Dataset,
+                        config: GraphPrompterConfig | None = None,
+                        pretrain_steps: int = 400, fast: bool = False,
+                        context=None, **server_kwargs) -> "PromptServer":
+        """Warm-start a server from the shared disk artifact cache.
+
+        Loads (or trains once and caches) the GraphPrompter state
+        pre-trained on ``source`` via the experiments'
+        :class:`~repro.experiments.common.ExperimentContext`, then binds it
+        to ``dataset``.  Pass an existing ``context`` to share artifacts
+        with other experiments in-process.
+        """
+        # Imported lazily: experiments imports serving for serve-bench.
+        from ..experiments.common import ExperimentContext, default_config
+
+        config = config or default_config()
+        if context is None:
+            context = ExperimentContext(pretrain_steps=pretrain_steps,
+                                        fast=fast)
+        state = context.pretrained_state(source, config)
+        model = GraphPrompterModel(dataset.graph.feature_dim,
+                                   dataset.graph.num_relations, config)
+        model.load_state_dict(state)
+        return cls(model, dataset, **server_kwargs)

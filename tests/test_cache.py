@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cache import LFUCache
+from repro.cache import CACHE_POLICIES, LFUCache, make_cache
 
 
 class TestBasics:
@@ -115,6 +115,89 @@ class TestFrequencyBookkeeping:
 
     def test_repr(self):
         assert "capacity=2" in repr(LFUCache(2))
+
+
+class TestStats:
+    def test_counters_track_events(self):
+        cache = LFUCache(2)
+        stats = cache.stats()
+        assert (stats.size, stats.capacity) == (0, 2)
+        assert (stats.hits, stats.misses) == (0, 0)
+        assert (stats.insertions, stats.evictions) == (0, 0)
+
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # hit
+        cache.touch("a")        # hit
+        cache.get("ghost")      # miss
+        cache.touch("ghost")    # miss
+        cache.put("c", 3)       # insertion + eviction of "b"
+
+        stats = cache.stats()
+        assert stats.size == 2
+        assert stats.hits == 2
+        assert stats.misses == 2
+        assert stats.insertions == 3
+        assert stats.evictions == 1
+
+    def test_update_existing_is_not_insertion(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.stats().insertions == 1
+        assert cache.stats().evictions == 0
+
+    def test_hit_rate(self):
+        cache = LFUCache(2)
+        assert cache.stats().hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats().hit_rate == pytest.approx(0.5)
+
+    def test_clear_resets_counters(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.size, stats.hits, stats.misses,
+                stats.insertions, stats.evictions) == (0, 0, 0, 0, 0)
+
+    @pytest.mark.parametrize("policy", sorted(CACHE_POLICIES))
+    def test_every_policy_exposes_stats(self, policy):
+        """LFU/LRU/FIFO share the counter interface the Augmenter surfaces."""
+        cache = make_cache(policy, 2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.touch("a")
+        cache.get("ghost")
+        cache.put("c", 3)  # evicts one entry under every policy
+        stats = cache.stats()
+        assert stats.size == 2 and stats.capacity == 2
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.insertions == 3
+        assert stats.evictions == 1
+
+
+class TestAugmenterStats:
+    def test_augmenter_surfaces_cache_stats(self):
+        from repro.core import GraphPrompterConfig, PromptAugmenter
+
+        config = GraphPrompterConfig(hidden_dim=4, cache_size=2)
+        augmenter = PromptAugmenter(config, rng=0)
+        emb = np.eye(3, 4)
+        augmenter.update(emb, np.array([0, 1, 2]), np.array([0.9, 0.8, 0.7]))
+        stats = augmenter.stats()
+        assert stats.capacity == 2
+        assert stats.size == 2
+        assert stats.insertions == 3
+        assert stats.evictions == 1
+        hits = augmenter.record_hits(emb[:1], top_k=2)
+        assert augmenter.stats().hits == hits > 0
+        augmenter.reset()
+        assert augmenter.stats().insertions == 0
 
 
 @settings(max_examples=40, deadline=None)

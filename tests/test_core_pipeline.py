@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    Episode,
+    EpisodeResult,
     GraphPrompterConfig,
     GraphPrompterModel,
     GraphPrompterPipeline,
@@ -278,6 +280,53 @@ class TestPipeline:
         r2 = GraphPrompterPipeline(m2, ds, rng=19).run_episode(ep)
         np.testing.assert_array_equal(r1.predictions, r2.predictions)
 
+    def test_streaming_split_matches_merged_episode(self, trained):
+        """reset_cache=False streaming replays a merged run exactly.
+
+        With deterministic per-datapoint sampling, running one 24-query
+        episode in two 12-query halves (keeping the cache across the calls)
+        must produce the same predictions and the same number of cache
+        insertions as the single merged run.
+        """
+        ds, cfg, model = trained
+        det_cfg = cfg.ablate(deterministic_sampling=True)
+        det_model = GraphPrompterModel(ds.graph.feature_dim,
+                                       ds.graph.num_relations, det_cfg)
+        det_model.load_state_dict(model.state_dict())
+        ep = sample_episode(ds, num_ways=3, num_queries=24, rng=40)
+
+        merged = GraphPrompterPipeline(det_model, ds, rng=41).run_episode(
+            ep, query_batch_size=6)
+
+        streaming = GraphPrompterPipeline(det_model, ds, rng=41)
+        halves = []
+        for start in (0, 12):
+            sub = Episode(
+                way_classes=ep.way_classes,
+                candidates=ep.candidates,
+                candidate_labels=ep.candidate_labels,
+                queries=ep.queries[start:start + 12],
+                query_labels=ep.query_labels[start:start + 12],
+            )
+            halves.append(streaming.run_episode(
+                sub, query_batch_size=6, reset_cache=(start == 0)))
+
+        assert (halves[0].num_cache_insertions
+                + halves[1].num_cache_insertions
+                == merged.num_cache_insertions)
+        np.testing.assert_array_equal(
+            np.concatenate([h.predictions for h in halves]),
+            merged.predictions)
+
+    def test_empty_labels_accuracy_is_nan(self):
+        """EpisodeResult delegates to the shared safe_accuracy helper."""
+        result = EpisodeResult(
+            predictions=np.zeros(0, dtype=np.int64),
+            labels=np.zeros(0, dtype=np.int64),
+            confidences=np.zeros(0), num_cache_insertions=0)
+        assert np.isnan(result.accuracy)
+        assert result.num_queries == 0
+
     def test_cache_persists_across_batches(self, trained):
         ds, cfg, model = trained
         ep = sample_episode(ds, num_ways=3, num_queries=24, rng=20)
@@ -301,6 +350,39 @@ class TestPipeline:
                                            rng=seed + 100).run_episode(ep)
             accs.append(result.accuracy)
         assert np.mean(accs) > 1.0 / 4
+
+
+class TestDeterministicSampling:
+    def test_subgraph_independent_of_call_order(self):
+        """Per-datapoint seeding: same datapoint, same subgraph, any order."""
+        ds = small_kg_dataset()
+        gen = PromptGenerator(ds.graph, tiny_config(), rng=0,
+                              deterministic=True)
+        datapoints = [ds.datapoint(i) for i in range(6)]
+        forward = [gen.subgraph_for(dp) for dp in datapoints]
+        backward = [gen.subgraph_for(dp)
+                    for dp in reversed(datapoints)][::-1]
+        for a, b in zip(forward, backward):
+            np.testing.assert_array_equal(a.nodes, b.nodes)
+            np.testing.assert_array_equal(a.src, b.src)
+            np.testing.assert_array_equal(a.dst, b.dst)
+
+    def test_salt_changes_subgraphs(self):
+        """Different salts draw different random walks (not a constant map).
+
+        Needs ≥2 hops: a 1-hop walk absorbs the seed neighbourhood without
+        ever acting on a random choice.
+        """
+        ds = small_kg_dataset()
+        cfg = tiny_config(max_subgraph_nodes=30, num_hops=2)
+        datapoints = [ds.datapoint(i) for i in range(20)]
+        variants = []
+        for salt in (0, 1):
+            gen = PromptGenerator(ds.graph, cfg, rng=0, deterministic=True,
+                                  salt=salt)
+            variants.append([tuple(s.nodes) for s in
+                             gen.subgraphs_for(datapoints)])
+        assert variants[0] != variants[1]
 
 
 class TestCrossDomainTransfer:

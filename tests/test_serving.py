@@ -1,0 +1,346 @@
+"""Tests for the online serving subsystem (sessions, scheduler, server)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    PretrainConfig,
+    Pretrainer,
+    sample_episode,
+)
+from repro.datasets import Dataset, EDGE_TASK
+from repro.datasets.synthetic import synthetic_knowledge_graph
+from repro.serving import (
+    MicroBatchScheduler,
+    PromptServer,
+    SessionState,
+    SessionStore,
+)
+from repro.serving.session import SessionStats
+
+
+class FakeClock:
+    """Manually advanced clock for TTL / max-wait tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_session(session_id: str) -> SessionState:
+    """Minimal SessionState for store-level tests (no real encodings)."""
+    from repro.core import PromptAugmenter
+
+    config = GraphPrompterConfig(hidden_dim=4)
+    return SessionState(
+        session_id=session_id, num_ways=2, shots=1,
+        candidate_emb=np.zeros((2, 4)),
+        candidate_importance=np.ones(2),
+        pool_labels=np.array([0, 1]),
+        augmenter=PromptAugmenter(config, rng=0))
+
+
+class TestSessionStore:
+    def test_put_get_touch_recency(self):
+        store = SessionStore(capacity=2)
+        store.put(make_session("a"))
+        store.put(make_session("b"))
+        store.get("a")  # refresh: "b" is now least recently used
+        store.put(make_session("c"))
+        assert "a" in store and "c" in store and "b" not in store
+        assert store.evicted_total == 1
+
+    def test_capacity_lru_eviction_order(self):
+        store = SessionStore(capacity=2)
+        store.put(make_session("a"))
+        store.put(make_session("b"))
+        evicted = store.put(make_session("c"))
+        assert evicted == ["a"]
+        assert store.ids() == ["b", "c"]
+
+    def test_get_unknown_raises(self):
+        store = SessionStore(capacity=2)
+        with pytest.raises(KeyError):
+            store.get("ghost")
+
+    def test_ttl_sweep(self):
+        clock = FakeClock()
+        store = SessionStore(capacity=4, ttl_seconds=10.0, clock=clock)
+        store.put(make_session("old"))
+        clock.advance(5)
+        store.put(make_session("young"))
+        clock.advance(6)  # "old" idle 11s, "young" idle 6s
+        assert store.sweep() == ["old"]
+        assert "young" in store and "old" not in store
+        assert store.expired_total == 1
+
+    def test_activity_refreshes_ttl(self):
+        clock = FakeClock()
+        store = SessionStore(capacity=4, ttl_seconds=10.0, clock=clock)
+        store.put(make_session("a"))
+        clock.advance(8)
+        store.get("a")  # activity resets the idle timer
+        clock.advance(8)
+        assert store.sweep() == []
+
+    def test_close(self):
+        store = SessionStore(capacity=2)
+        store.put(make_session("a"))
+        assert store.close("a").session_id == "a"
+        assert store.close("a") is None
+        assert len(store) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionStore(capacity=0)
+        with pytest.raises(ValueError):
+            SessionStore(ttl_seconds=0.0)
+
+
+class TestMicroBatchScheduler:
+    def test_releases_at_max_batch_size(self):
+        sched = MicroBatchScheduler(max_batch_size=3, max_wait_s=100.0,
+                                    clock=FakeClock())
+        sched.submit("s", None)
+        sched.submit("s", None)
+        assert not sched.ready()
+        sched.submit("s", None)
+        assert sched.ready()
+
+    def test_releases_after_max_wait(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler(max_batch_size=8, max_wait_s=0.5,
+                                    clock=clock)
+        sched.submit("s", None)
+        assert not sched.ready()
+        clock.advance(0.6)
+        assert sched.ready()
+
+    def test_next_batch_arrival_order_and_cap(self):
+        sched = MicroBatchScheduler(max_batch_size=2)
+        ids = [sched.submit(f"s{i}", None) for i in range(5)]
+        first = sched.next_batch()
+        assert [r.request_id for r in first] == ids[:2]
+        assert [r.request_id for r in sched.next_batch()] == ids[2:4]
+        assert len(sched) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(max_wait_s=-1.0)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A briefly pre-trained model + dataset shared by the server tests."""
+    graph = synthetic_knowledge_graph(300, 8, 2400, rng=0, name="kg-serve")
+    dataset = Dataset(graph, EDGE_TASK, rng=0)
+    config = GraphPrompterConfig(hidden_dim=12, max_subgraph_nodes=10,
+                                 num_gnn_layers=2)
+    model = GraphPrompterModel(dataset.graph.feature_dim,
+                               dataset.graph.num_relations, config)
+    Pretrainer(model, dataset, PretrainConfig(steps=60, num_ways=4),
+               rng=0).train()
+    return dataset, config, model
+
+
+def run_workload(server, episodes, queries_per_session):
+    """Open one session per episode, interleave queries, drain."""
+    for i, episode in enumerate(episodes):
+        server.open_session(f"session-{i}", episode)
+    for q in range(queries_per_session):
+        for i, episode in enumerate(episodes):
+            server.submit(f"session-{i}", episode.queries[q])
+    return server.drain()
+
+
+class TestPromptServer:
+    def test_serves_all_queries(self, served):
+        dataset, config, model = served
+        server = PromptServer(model, dataset, max_batch_size=8, rng=1)
+        episodes = [sample_episode(dataset, num_ways=3, num_queries=6, rng=s)
+                    for s in (1, 2)]
+        results = run_workload(server, episodes, 6)
+        assert len(results) == 12
+        assert all(r.ok for r in results)
+        assert all(0 <= r.prediction < 3 for r in results)
+        assert server.stats.queries == 12
+        assert server.stats.mean_batch_size > 1.0
+
+    def test_batched_identical_to_unbatched(self, served):
+        """Micro-batching must not change any answer (acceptance criterion)."""
+        dataset, config, model = served
+        episodes = [sample_episode(dataset, num_ways=3, num_queries=8, rng=s)
+                    for s in (3, 4, 5)]
+        outputs = {}
+        for batch_size in (1, 8):
+            server = PromptServer(model, dataset, max_batch_size=batch_size,
+                                  rng=7)
+            outputs[batch_size] = run_workload(server, episodes, 8)
+        assert [(r.session_id, r.prediction) for r in outputs[8]] == \
+               [(r.session_id, r.prediction) for r in outputs[1]]
+        conf8 = np.array([r.confidence for r in outputs[8]])
+        conf1 = np.array([r.confidence for r in outputs[1]])
+        np.testing.assert_allclose(conf8, conf1, atol=1e-9)
+
+    def test_session_isolation(self, served):
+        """One session's pseudo-label cache never leaks into another's."""
+        dataset, config, model = served
+        server = PromptServer(model, dataset, max_batch_size=4, rng=2)
+        episode = sample_episode(dataset, num_ways=3, num_queries=8, rng=9)
+        server.open_session("busy", episode)
+        server.open_session("idle", episode)
+        for query in episode.queries:
+            server.submit("busy", query)
+        server.drain()
+        busy = server.sessions.get("busy")
+        idle = server.sessions.get("idle")
+        assert busy.augmenter is not idle.augmenter
+        assert busy.stats.cache_insertions > 0
+        assert len(busy.augmenter) > 0
+        assert len(idle.augmenter) == 0
+        assert idle.stats.queries == 0
+
+    def test_isolated_sessions_match_solo_run(self, served):
+        """A session sharing the server with others answers exactly as if
+        it were alone — isolation means no cross-tenant interference."""
+        dataset, config, model = served
+        episode_a = sample_episode(dataset, num_ways=3, num_queries=8, rng=11)
+        episode_b = sample_episode(dataset, num_ways=4, num_queries=8, rng=12)
+
+        solo = PromptServer(model, dataset, max_batch_size=4, rng=3)
+        solo.open_session("a", episode_a)
+        for query in episode_a.queries:
+            solo.submit("a", query)
+        solo_preds = [r.prediction for r in solo.drain()]
+
+        shared = PromptServer(model, dataset, max_batch_size=4, rng=3)
+        shared.open_session("a", episode_a)
+        shared.open_session("b", episode_b)
+        tickets = []
+        for qa, qb in zip(episode_a.queries, episode_b.queries):
+            tickets.append(shared.submit("a", qa))
+            shared.submit("b", qb)
+        shared.drain()
+        shared_preds = [shared.result(t).prediction for t in tickets]
+        assert shared_preds == solo_preds
+
+    def test_submit_unknown_session_raises(self, served):
+        dataset, config, model = served
+        server = PromptServer(model, dataset, rng=0)
+        episode = sample_episode(dataset, num_ways=3, num_queries=4, rng=13)
+        with pytest.raises(KeyError):
+            server.submit("never-opened", episode.queries[0])
+
+    def test_lru_session_eviction(self, served):
+        dataset, config, model = served
+        server = PromptServer(model, dataset, session_capacity=1, rng=0)
+        episode = sample_episode(dataset, num_ways=3, num_queries=4, rng=14)
+        server.open_session("first", episode)
+        server.open_session("second", episode)
+        assert server.stats.sessions_evicted == 1
+        with pytest.raises(KeyError):
+            server.submit("first", episode.queries[0])
+        assert server.submit("second", episode.queries[0]) >= 0
+
+    def test_ttl_expiry_fails_pending_request(self, served):
+        """A query whose session expires while queued gets an error result."""
+        dataset, config, model = served
+        clock = FakeClock()
+        server = PromptServer(model, dataset, max_batch_size=8,
+                              session_ttl_s=10.0, rng=0, clock=clock)
+        episode = sample_episode(dataset, num_ways=3, num_queries=4, rng=15)
+        server.open_session("fleeting", episode)
+        ticket = server.submit("fleeting", episode.queries[0])
+        clock.advance(11.0)
+        results = server.drain()
+        assert server.stats.sessions_expired == 1
+        assert len(results) == 1
+        assert results[0].request_id == ticket
+        assert not results[0].ok
+        assert results[0].error == "session-expired"
+
+    def test_result_lookup_and_ledger(self, served):
+        dataset, config, model = served
+        server = PromptServer(model, dataset, max_batch_size=2, rng=4)
+        episode = sample_episode(dataset, num_ways=3, num_queries=6, rng=16)
+        server.open_session("s", episode)
+        tickets = [server.submit("s", q) for q in episode.queries]
+        assert server.result(tickets[0]) is None  # nothing processed yet
+        server.drain()
+        for ticket in tickets:
+            result = server.result(ticket)
+            assert result is not None and result.ok
+            assert result.latency_s >= result.service_s >= 0
+        state = server.sessions.get("s")
+        assert state.stats.queries == 6
+        assert state.cache_stats().insertions == state.stats.cache_insertions
+
+    def test_result_buffer_is_bounded(self, served):
+        """Old results fall out of the lookup buffer; memory stays flat."""
+        dataset, config, model = served
+        server = PromptServer(model, dataset, max_batch_size=2,
+                              result_buffer_size=3, rng=5)
+        episode = sample_episode(dataset, num_ways=3, num_queries=8, rng=19)
+        server.open_session("s", episode)
+        tickets = [server.submit("s", q) for q in episode.queries]
+        server.drain()
+        assert len(server._results) == 3
+        assert server.result(tickets[0]) is None  # aged out
+        assert server.result(tickets[-1]) is not None
+        with pytest.raises(ValueError):
+            PromptServer(model, dataset, result_buffer_size=0)
+
+    def test_step_respects_release_policy(self, served):
+        dataset, config, model = served
+        clock = FakeClock()
+        server = PromptServer(model, dataset, max_batch_size=4,
+                              max_wait_s=5.0, rng=0, clock=clock)
+        episode = sample_episode(dataset, num_ways=3, num_queries=4, rng=17)
+        server.open_session("s", episode)
+        server.submit("s", episode.queries[0])
+        assert server.step() == []  # neither full nor waited long enough
+        clock.advance(6.0)
+        assert len(server.step()) == 1  # max-wait release
+
+    def test_from_pretrained_warm_start(self, served, tmp_path, monkeypatch):
+        """Warm-start builds a working server from the artifact cache."""
+        import repro.experiments.common as common
+
+        dataset, config, model = served
+        monkeypatch.setattr(common, "CACHE_DIR", str(tmp_path))
+        from repro.experiments.common import ExperimentContext
+
+        context = ExperimentContext(pretrain_steps=5, use_disk_cache=True)
+        server = PromptServer.from_pretrained(
+            "wiki", dataset, config=config, context=context,
+            max_batch_size=4)
+        episode = sample_episode(dataset, num_ways=3, num_queries=4, rng=18)
+        server.open_session("warm", episode)
+        for query in episode.queries:
+            server.submit("warm", query)
+        results = server.drain()
+        assert len(results) == 4 and all(r.ok for r in results)
+        # The artifact now exists on disk: a second context re-loads it.
+        again = ExperimentContext(pretrain_steps=5, use_disk_cache=True)
+        assert again.pretrained_state("wiki", config) is not None
+
+
+class TestSessionStats:
+    def test_record_accumulates(self):
+        stats = SessionStats()
+        stats.record(wait_s=0.1, service_s=0.2, inserted=2, now=5.0)
+        stats.record(wait_s=0.3, service_s=0.4, inserted=1, now=6.0)
+        assert stats.queries == 2
+        assert stats.cache_insertions == 3
+        assert stats.total_wait_s == pytest.approx(0.4)
+        assert stats.total_service_s == pytest.approx(0.6)
+        assert stats.last_active == 6.0
