@@ -7,6 +7,10 @@ from the shell and prints the reproduced table::
     python -m repro fig5 --fast
     python -m repro all --fast
     python -m repro list
+
+plus the perf-regression harness (its own flag set, see ``repro bench -h``)::
+
+    python -m repro bench --quick --baseline BENCH_hotpaths.json
 """
 
 from __future__ import annotations
@@ -66,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', or 'list'",
+        help="experiment id (see 'list'), 'all', 'list', or 'bench'",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -84,12 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        # The perf harness has its own flag set (--quick/--baseline/...);
+        # dispatch before the experiment parser sees the arguments.
+        from .perf import bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name in sorted(EXPERIMENTS):
-            print(f"  {name:<{width}}  {EXPERIMENTS[name][1]}")
+        entries = dict(EXPERIMENTS)
+        entries["bench"] = (None,
+                            "hot-path microbenchmarks + perf-regression check")
+        width = max(len(name) for name in entries)
+        for name in sorted(entries):
+            print(f"  {name:<{width}}  {entries[name][1]}")
         return 0
 
     if args.experiment == "all":

@@ -33,6 +33,11 @@ class GraphPrompterConfig:
         Data-graph convolution: ``"sage"`` (paper) or ``"gat"`` (Fig. 4).
     sampling_method:
         ``"random_walk"`` (paper) or ``"bfs"``.
+    sampling_engine:
+        ``"vectorized"`` (CSR frontier gathers, the hot path) or
+        ``"legacy"`` (per-node Python loops).  Bit-identical outputs —
+        the legacy engine exists as the reference for the sampler
+        equivalence suite and for perf A/B runs (``repro bench``).
     use_reconstruction:
         Stage 1 — learn edge weights (Eqs. 2–3) instead of raw subgraphs.
     use_selection_layers:
@@ -75,6 +80,7 @@ class GraphPrompterConfig:
     max_subgraph_nodes: int = 20
     conv: str = "sage"
     sampling_method: str = "random_walk"
+    sampling_engine: str = "vectorized"
     use_reconstruction: bool = True
     use_selection_layers: bool = True
     use_knn: bool = True
@@ -100,6 +106,8 @@ class GraphPrompterConfig:
             raise ValueError(f"unknown conv {self.conv!r}")
         if self.sampling_method not in ("random_walk", "bfs"):
             raise ValueError(f"unknown sampler {self.sampling_method!r}")
+        if self.sampling_engine not in ("vectorized", "legacy"):
+            raise ValueError(f"unknown sampling engine {self.sampling_engine!r}")
         if self.knn_metric not in ("cosine", "euclidean", "manhattan"):
             raise ValueError(f"unknown knn metric {self.knn_metric!r}")
         if self.cache_policy not in ("lfu", "lru", "fifo"):

@@ -110,12 +110,17 @@ class GraphPrompterPipeline:
     # the online serving path (repro.serving), which injects per-session
     # Augmenter caches.
     # ------------------------------------------------------------------
-    def encode_points(self, datapoints: list
+    def encode_points(self, datapoints: list, arena=None
                       ) -> tuple[np.ndarray, np.ndarray]:
-        """Sample + encode datapoints; returns ``(embeddings, importance)``."""
+        """Sample + encode datapoints; returns ``(embeddings, importance)``.
+
+        Runs the no-grad fused encoder path; ``arena`` optionally supplies
+        reusable batch buffers (the serving loop passes its per-tick
+        :class:`~repro.gnn.BatchArena`).
+        """
         with no_grad():
             emb_t = self.model.encode_subgraphs(
-                self.generator.subgraphs_for(datapoints))
+                self.generator.subgraphs_for(datapoints), arena=arena)
             importance = self.model.importance(emb_t).data
         return emb_t.data, importance
 
@@ -158,7 +163,20 @@ class GraphPrompterPipeline:
 
         ``augmenter`` overrides the pipeline-owned cache — the serving layer
         passes each session's private :class:`PromptAugmenter` here.
+
+        The whole step is inference-only, so it runs under ``no_grad`` —
+        the task-graph GNN takes its fused numpy path and no backward
+        closures are allocated, whether the caller is the offline episode
+        runner (already inside ``no_grad``) or the online server.
         """
+        with no_grad():
+            return self._predict_batch_impl(
+                candidate_emb, candidate_importance, pool_labels, query_emb,
+                query_importance, num_ways, shots, augmenter)
+
+    def _predict_batch_impl(self, candidate_emb, candidate_importance,
+                            pool_labels, query_emb, query_importance,
+                            num_ways, shots, augmenter):
         config = self.config
         augmenter = augmenter if augmenter is not None else self.augmenter
         adaptive = config.use_knn or config.use_selection_layers

@@ -131,9 +131,16 @@ class GraphPrompterModel(Module):
             weights = self.reconstruction_weights(batch)
         return self.encoder(batch, edge_weights=weights)
 
-    def encode_subgraphs(self, subgraphs: list) -> Tensor:
-        """Batch a list of subgraphs and encode it."""
-        return self.encode_batch(SubgraphBatch.from_subgraphs(subgraphs))
+    def encode_subgraphs(self, subgraphs: list, arena=None) -> Tensor:
+        """Batch a list of subgraphs and encode it.
+
+        ``arena`` optionally supplies reusable batch buffers
+        (:class:`~repro.gnn.BatchArena`); the serving loop passes one so
+        micro-batch ticks recycle the large batch arrays instead of
+        reallocating them.
+        """
+        return self.encode_batch(SubgraphBatch.from_subgraphs(subgraphs,
+                                                              arena=arena))
 
     # ------------------------------------------------------------------
     # Stage 2a — selection layers

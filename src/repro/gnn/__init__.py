@@ -1,6 +1,6 @@
 """GNN layers: message passing, convolutions, pooling and the task GNN."""
 
-from .batch import SubgraphBatch
+from .batch import BatchArena, SubgraphBatch
 from .encoder import DataGraphEncoder
 from .gat import GATConv
 from .message_passing import scatter_mean, scatter_sum, segment_count, segment_softmax
@@ -15,6 +15,7 @@ from .task_gnn import (
 )
 
 __all__ = [
+    "BatchArena",
     "SubgraphBatch",
     "DataGraphEncoder",
     "SAGEConv",

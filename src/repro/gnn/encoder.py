@@ -107,7 +107,13 @@ class DataGraphEncoder(Module):
             f"unsupported center count: pooled dim {pooled.shape[-1]}"
         )
 
-    def encode_subgraphs(self, subgraphs: list, edge_weights=None) -> Tensor:
-        """Convenience: batch a list of subgraphs and encode it."""
-        return self.forward(SubgraphBatch.from_subgraphs(subgraphs),
+    def encode_subgraphs(self, subgraphs: list, edge_weights=None,
+                         arena=None) -> Tensor:
+        """Convenience: batch a list of subgraphs and encode it.
+
+        ``arena`` is an optional :class:`~repro.gnn.batch.BatchArena` whose
+        buffers back the assembled batch (serving reuses one across ticks).
+        """
+        return self.forward(SubgraphBatch.from_subgraphs(subgraphs,
+                                                         arena=arena),
                             edge_weights=edge_weights)

@@ -11,7 +11,9 @@ import numpy as np
 
 from ..nn import Linear, Module, Parameter, Tensor
 from ..nn import init as _init
-from .message_passing import scatter_sum, segment_softmax
+from ..nn.tensor import is_grad_enabled
+from .message_passing import (data_of, scatter_sum, scatter_sum_data,
+                              segment_softmax, segment_softmax_data)
 
 __all__ = ["GATConv"]
 
@@ -56,6 +58,9 @@ class GATConv(Module):
         edge_weights: Tensor | np.ndarray | None = None,
         rel_emb: Tensor | None = None,
     ) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self._forward_data(h, src, dst, num_nodes,
+                                             edge_weights, rel_emb))
         transformed = self.linear(h)
         if edge_weights is not None and isinstance(edge_weights, np.ndarray):
             edge_weights = Tensor(edge_weights)
@@ -85,6 +90,45 @@ class GATConv(Module):
             out = out.relu()
         elif self.activation == "tanh":
             out = out.tanh()
+        elif self.activation != "identity":
+            raise ValueError(f"unknown activation {self.activation!r}")
+        return out
+
+    def _forward_data(self, h, src, dst, num_nodes, edge_weights,
+                      rel_emb) -> np.ndarray:
+        """Fused no-grad forward — bit-identical to the autodiff path."""
+        hd = data_of(h)
+        rel_d = data_of(rel_emb) if rel_emb is not None else None
+        weights_d = (data_of(edge_weights)
+                     if edge_weights is not None else None)
+        transformed = hd @ self.linear.weight.data
+
+        head_outputs = []
+        for head in range(self.num_heads):
+            lo = head * self.head_dim
+            hi = lo + self.head_dim
+            head_h = transformed[:, lo:hi]
+            scores_src = (head_h * self.attn_src.data[head]).sum(axis=-1)
+            scores_dst = (head_h * self.attn_dst.data[head]).sum(axis=-1)
+            edge_scores = scores_src[src] + scores_dst[dst]
+            if rel_d is not None:
+                edge_scores = edge_scores + (
+                    rel_d * self.attn_rel.data[head]).sum(axis=-1)
+            edge_scores = edge_scores * np.where(edge_scores > 0, 1.0,
+                                                 self.negative_slope)
+            alpha = segment_softmax_data(edge_scores, dst, num_nodes)
+            if weights_d is not None:
+                alpha = alpha * weights_d
+            messages = head_h[src] * alpha.reshape(-1, 1)
+            head_outputs.append(scatter_sum_data(messages, dst, num_nodes))
+        aggregated = (head_outputs[0] if self.num_heads == 1
+                      else np.concatenate(head_outputs, axis=1))
+        out = ((hd @ self.linear_self.weight.data
+                + self.linear_self.bias.data) + aggregated)
+        if self.activation == "relu":
+            out = out * (out > 0)
+        elif self.activation == "tanh":
+            out = np.tanh(out)
         elif self.activation != "identity":
             raise ValueError(f"unknown activation {self.activation!r}")
         return out

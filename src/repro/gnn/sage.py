@@ -12,7 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Linear, Module, Tensor
-from .message_passing import scatter_sum, segment_count
+from ..nn.tensor import is_grad_enabled
+from .message_passing import (data_of, scatter_sum, scatter_sum_data,
+                              segment_count)
 
 __all__ = ["SAGEConv"]
 
@@ -42,6 +44,9 @@ class SAGEConv(Module):
         edge_weights: Tensor | np.ndarray | None = None,
         rel_emb: Tensor | None = None,
     ) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self._forward_data(h, src, dst, num_nodes,
+                                             edge_weights, rel_emb))
         messages = h.gather_rows(src)
         if rel_emb is not None:
             messages = messages + rel_emb
@@ -57,6 +62,32 @@ class SAGEConv(Module):
             out = out.relu()
         elif self.activation == "tanh":
             out = out.tanh()
+        elif self.activation != "identity":
+            raise ValueError(f"unknown activation {self.activation!r}")
+        return out
+
+    def _forward_data(self, h, src, dst, num_nodes, edge_weights,
+                      rel_emb) -> np.ndarray:
+        """Fused no-grad forward: gather → weight → scatter-mean → affine.
+
+        Pure numpy with the exact op order of the autodiff path above, so
+        inference outputs are bit-identical — just without per-op tensor
+        wrapping and backward-closure bookkeeping.
+        """
+        hd = data_of(h)
+        messages = hd[src]
+        if rel_emb is not None:
+            messages = messages + data_of(rel_emb)
+        if edge_weights is not None:
+            messages = messages * data_of(edge_weights).reshape(-1, 1)
+        aggregated = (scatter_sum_data(messages, dst, num_nodes)
+                      / segment_count(dst, num_nodes).reshape(-1, 1))
+        out = ((hd @ self.linear_self.weight.data + self.linear_self.bias.data)
+               + aggregated @ self.linear_neigh.weight.data)
+        if self.activation == "relu":
+            out = out * (out > 0)
+        elif self.activation == "tanh":
+            out = np.tanh(out)
         elif self.activation != "identity":
             raise ValueError(f"unknown activation {self.activation!r}")
         return out

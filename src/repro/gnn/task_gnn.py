@@ -14,7 +14,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Embedding, LayerNorm, Linear, Module, Parameter, Tensor
-from .message_passing import scatter_sum, segment_softmax
+from ..nn.tensor import is_grad_enabled
+from .message_passing import (data_of, scatter_sum, scatter_sum_data,
+                              segment_softmax, segment_softmax_data)
 
 __all__ = ["TaskGraphGNN", "EDGE_ATTR_PROMPT_TRUE", "EDGE_ATTR_PROMPT_FALSE",
            "EDGE_ATTR_QUERY", "NUM_EDGE_ATTRS"]
@@ -46,6 +48,8 @@ class _TaskAttentionLayer(Module):
 
     def forward(self, h: Tensor, src: np.ndarray, dst: np.ndarray,
                 attr: np.ndarray, num_nodes: int) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self._forward_data(h, src, dst, attr, num_nodes))
         queries = self.query_proj(h)
         keys = self.key_proj(h)
         values = self.value_proj(h)
@@ -60,6 +64,36 @@ class _TaskAttentionLayer(Module):
         weighted = messages * alpha.reshape(-1, 1)
         aggregated = scatter_sum(weighted, dst, num_nodes)
         return self.norm(h + self.out_proj(aggregated))
+
+    def _forward_data(self, h, src, dst, attr, num_nodes) -> np.ndarray:
+        """Fused no-grad forward — bit-identical to the autodiff path.
+
+        The per-query prediction step runs this layer once per task-graph
+        pass; fusing it keeps serving latency dominated by matmuls instead
+        of graph bookkeeping.
+        """
+        hd = data_of(h)
+        attr = np.asarray(attr, dtype=np.int64)
+        queries = hd @ self.query_proj.weight.data
+        keys = hd @ self.key_proj.weight.data
+        values = hd @ self.value_proj.weight.data
+        scale = 1.0 / np.sqrt(self.dim)
+        logits = ((queries[dst] * keys[src]).sum(axis=-1) * scale
+                  + self.attr_bias.data[attr])
+        alpha = segment_softmax_data(logits, dst, num_nodes)
+        messages = values[src] + self.attr_embedding.weight.data[attr]
+        weighted = messages * alpha.reshape(-1, 1)
+        aggregated = scatter_sum_data(weighted, dst, num_nodes)
+        out = (aggregated @ self.out_proj.weight.data
+               + self.out_proj.bias.data)
+        x = hd + out
+        # LayerNorm, mirroring nn.LayerNorm op-for-op (sum/len mean, **0.5).
+        mu = x.sum(axis=-1, keepdims=True) / float(x.shape[-1])
+        centered = x - mu
+        var = ((centered * centered).sum(axis=-1, keepdims=True)
+               / float(x.shape[-1]))
+        normed = centered / (var + self.norm.eps) ** 0.5
+        return normed * self.norm.gamma.data + self.norm.beta.data
 
 
 class TaskGraphGNN(Module):

@@ -31,6 +31,7 @@ class CSRAdjacency:
         self.edge_ids = order
         counts = np.bincount(src, minlength=num_nodes)
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._scratch_mask: np.ndarray | None = None
 
     @property
     def num_edges(self) -> int:
@@ -50,3 +51,44 @@ class CSRAdjacency:
         if node is None:
             return np.diff(self.indptr)
         return int(self.indptr[node + 1] - self.indptr[node])
+
+    # ------------------------------------------------------------------
+    # Vectorized frontier operations (the sampler hot path)
+    # ------------------------------------------------------------------
+    def gather_neighbors(self, frontier: np.ndarray) -> np.ndarray:
+        """Concatenated neighbour lists of every ``frontier`` node.
+
+        Equivalent to ``np.concatenate([self.neighbors(u) for u in frontier])``
+        — same node order (frontier order, CSR order within each row) — but
+        a single fancy-index gather instead of a Python loop.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        if frontier.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if frontier.size == 1:
+            node = frontier[0]
+            return self.indices[self.indptr[node]:self.indptr[node + 1]]
+        starts = self.indptr[frontier]
+        lens = self.indptr[frontier + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Flat positions: slot i of row r reads indices[starts[r] + i -
+        # first_slot_of_r]; folding starts and row firsts into one repeat
+        # keeps this at three kernels total.
+        cum = np.cumsum(lens)
+        shifts = np.repeat(starts - cum + lens, lens)
+        return self.indices[np.arange(total, dtype=np.int64) + shifts]
+
+    def visited_scratch(self) -> np.ndarray:
+        """All-``False`` boolean scratch of length ``num_nodes``.
+
+        Cached on the adjacency so per-query samplers avoid an O(|V|)
+        allocation per call.  The borrower MUST reset every entry it set to
+        ``True`` before returning (samplers do this in a ``finally`` block);
+        the scratch is not re-entrant, which is fine for the single-threaded
+        sampling paths that use it.
+        """
+        if self._scratch_mask is None or self._scratch_mask.size != self.num_nodes:
+            self._scratch_mask = np.zeros(self.num_nodes, dtype=bool)
+        return self._scratch_mask

@@ -41,6 +41,18 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+def _grad_active(*tensors: "Tensor") -> bool:
+    """Whether an op over ``tensors`` must record a backward closure.
+
+    Ops call this *before* constructing their backward closure: under
+    ``no_grad()`` (or when no input requires grad) they return a plain
+    result tensor immediately, so inference allocates no closure cells, no
+    parent tuples and no graph bookkeeping — the "skip backward-closure
+    allocation" half of the fused inference fast path.
+    """
+    return _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
     if grad.shape == shape:
@@ -181,6 +193,8 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data + other.data
+        if not _grad_active(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -195,6 +209,8 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data * other.data
+        if not _grad_active(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -218,6 +234,8 @@ class Tensor:
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data / other.data
+        if not _grad_active(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -236,6 +254,8 @@ class Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -246,6 +266,8 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data @ other.data
+        if not _grad_active(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -268,6 +290,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -277,6 +301,8 @@ class Tensor:
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -289,6 +315,8 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -298,6 +326,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -308,6 +338,8 @@ class Tensor:
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out_data = self.data * mask
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -319,6 +351,8 @@ class Tensor:
         mask = self.data > 0
         scale = np.where(mask, 1.0, negative_slope)
         out_data = self.data * scale
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -327,8 +361,10 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
         out_data = np.abs(self.data)
+        if not _grad_active(self):
+            return Tensor(out_data)
+        sign = np.sign(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -337,8 +373,10 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
-        mask = (self.data >= low) & (self.data <= high)
         out_data = np.clip(self.data, low, high)
+        if not _grad_active(self):
+            return Tensor(out_data)
+        mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -351,6 +389,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -374,6 +414,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -398,6 +440,8 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -411,6 +455,8 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         out_data = self.data.transpose(axes)
+        if not _grad_active(self):
+            return Tensor(out_data)
         inverse = np.argsort(axes)
 
         def backward(grad: np.ndarray) -> None:
@@ -421,6 +467,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -437,6 +485,8 @@ class Tensor:
         """Select rows ``self[index]`` (index may repeat), differentiable."""
         index = np.asarray(index, dtype=np.int64)
         out_data = self.data[index]
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -456,6 +506,8 @@ class Tensor:
         out_shape = (num_targets,) + self.shape[1:]
         out_data = np.zeros(out_shape, dtype=np.float64)
         np.add.at(out_data, index, self.data)
+        if not _grad_active(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -470,6 +522,8 @@ class Tensor:
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [as_tensor(t) for t in tensors]
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        if not _grad_active(*tensors):
+            return Tensor(out_data)
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
 
@@ -486,6 +540,8 @@ class Tensor:
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [as_tensor(t) for t in tensors]
         out_data = np.stack([t.data for t in tensors], axis=axis)
+        if not _grad_active(*tensors):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             parts = np.split(grad, len(tensors), axis=axis)

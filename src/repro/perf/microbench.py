@@ -1,0 +1,63 @@
+"""Self-calibrating microbenchmark timer.
+
+``time_callable`` is the single primitive of the harness: it calibrates an
+inner-loop count so one measurement repetition runs for at least
+``min_runtime_s`` (amortising clock granularity), then reports the *best*
+per-call time over several repetitions — the standard way to strip
+scheduler noise from CPU microbenchmarks (cf. ``timeit``'s ``repeat``
+guidance: the minimum is the measurement, the rest is interference).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["Measurement", "time_callable"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Best-of-``repeats`` timing for one callable."""
+
+    per_call_s: float
+    inner_loops: int
+    repeats: int
+
+    @property
+    def per_call_us(self) -> float:
+        return self.per_call_s * 1e6
+
+
+def time_callable(fn, *, min_runtime_s: float = 0.05, repeats: int = 3,
+                  max_inner: int = 1 << 20) -> Measurement:
+    """Best per-call seconds of ``fn()`` over ``repeats`` measured blocks.
+
+    The inner-loop count doubles until one block takes ``min_runtime_s``;
+    every block then runs that many calls, and the fastest block sets the
+    reported per-call time.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    fn()  # warm-up: JIT-less here, but fills caches and lazy structures
+    inner = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        elapsed = time.perf_counter() - start
+        # Break only on a block measured at the *current* inner count, so
+        # elapsed/inner always refer to the same block.
+        if elapsed >= min_runtime_s or inner >= max_inner:
+            break
+        # Aim straight for the target instead of pure doubling.
+        scale = min_runtime_s / max(elapsed, 1e-9)
+        inner = min(max(inner * 2, int(inner * scale * 1.2) + 1), max_inner)
+    best = elapsed / inner
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / inner)
+    return Measurement(per_call_s=best, inner_loops=inner, repeats=repeats)

@@ -21,6 +21,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from ..gnn.batch import BatchArena
 from ..graph.datapoints import Datapoint
 
 __all__ = ["PendingRequest", "MicroBatchScheduler"]
@@ -50,6 +51,12 @@ class MicroBatchScheduler:
         self.clock = clock
         self._queue: "deque[PendingRequest]" = deque()
         self._next_request_id = 0
+        # One arena per scheduler: every released micro-batch is assembled
+        # into the same reusable buffers, so the large per-batch arrays are
+        # recycled instead of reallocated each tick.  Safe because a tick
+        # fully consumes its batch (encode → scatter results) before the
+        # next one is assembled.
+        self.arena = BatchArena()
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -190,9 +190,11 @@ class PromptServer:
         """One coalesced encoder pass, then per-session scatter."""
         start = self.clock()
         # Hot path: every pending subgraph — across sessions — in one
-        # disjoint-union GNN pass.
+        # disjoint-union GNN pass, assembled into the scheduler's reusable
+        # arena buffers (no per-tick batch allocation).
         emb, importance = self.pipeline.encode_points(
-            [request.datapoint for request in batch])
+            [request.datapoint for request in batch],
+            arena=self.scheduler.arena)
         results = []
         for i, request in enumerate(batch):
             wait_s = max(start - request.submitted_at, 0.0)
