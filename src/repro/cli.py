@@ -25,6 +25,7 @@ from .experiments import (
     ablation_knn_metric,
     ablation_recon_scorer,
     serve_bench,
+    serve_bench_sharded,
     fig3_ablation,
     fig4_gnn_architectures,
     fig5_cache_size,
@@ -60,6 +61,8 @@ EXPERIMENTS = {
     "ablation-cache": (ablation_cache_policy, "cache policy sweep"),
     "ablation-recon": (ablation_recon_scorer, "reconstruction scorer sweep"),
     "serve-bench": (serve_bench, "online serving micro-batch throughput"),
+    "serve-bench-sharded": (serve_bench_sharded,
+                            "sharded/parallel serving equivalence + QPS"),
 }
 
 

@@ -71,6 +71,22 @@ class GraphPrompterConfig:
         order.  Required by the online serving path (batched == unbatched
         predictions) and by split streaming episodes that must replay a
         merged run exactly.
+    num_shards:
+        Default shard count of the serving layer's
+        :class:`~repro.shard.ShardedGraphStore` (1 = monolithic).
+        Sharding never changes predictions — sampling over the sharded
+        store is bit-identical to the monolithic engines.
+    num_workers:
+        Default worker count of the serving layer's
+        :class:`~repro.shard.WorkerPool` (1 = in-process).
+    shard_strategy:
+        Node-partition strategy: ``"greedy"`` (degree-balanced) or
+        ``"hash"`` (stateless splitmix64).
+    worker_backend:
+        ``"auto"`` (processes when ``num_workers > 1`` *and* the host
+        has more than one usable core, else serial), ``"process"``
+        (force a pool), or ``"serial"`` (deterministic in-process
+        fallback).
     """
 
     hidden_dim: int = 32
@@ -92,6 +108,10 @@ class GraphPrompterConfig:
     temperature: float = 10.0
     random_pseudo_labels: bool = False
     deterministic_sampling: bool = False
+    num_shards: int = 1
+    num_workers: int = 1
+    shard_strategy: str = "greedy"
+    worker_backend: str = "auto"
     seed: int = 0
 
     def validate(self) -> "GraphPrompterConfig":
@@ -116,6 +136,14 @@ class GraphPrompterConfig:
             raise ValueError(f"unknown recon scorer {self.recon_scorer!r}")
         if self.temperature <= 0:
             raise ValueError("temperature must be positive")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.shard_strategy not in ("greedy", "hash"):
+            raise ValueError(f"unknown shard strategy {self.shard_strategy!r}")
+        if self.worker_backend not in ("auto", "serial", "process"):
+            raise ValueError(f"unknown worker backend {self.worker_backend!r}")
         return self
 
     def ablate(self, **flags) -> "GraphPrompterConfig":

@@ -13,6 +13,16 @@ Reported per batch size: queries/sec over the whole workload, the speedup
 vs. per-query serving, p50/p95 micro-batch service latency, and whether
 predictions stayed identical to the per-query run (they must — batching is
 a pure throughput optimization).
+
+``serve-bench-sharded`` replays one fixed workload through the horizontal
+scale-out path (:mod:`repro.shard`): unsharded, then K-shard/N-worker
+configurations.  Predictions must be *exactly equal* across every
+configuration (sharded sampling is bit-identical and the encoder is
+batch-composition-invariant up to float last-ulp wobble, which never moved
+a prediction in the equivalence suite) — a mismatch raises, so the CI
+smoke fails loudly.  The summary table surfaces the per-shard counters
+(``requests`` routed, ``halo_fetches`` across shard boundaries,
+``worker_busy_s``) from :class:`~repro.serving.ServerStats`.
 """
 
 from __future__ import annotations
@@ -25,7 +35,23 @@ from ..core import GraphPrompterModel, sample_episode
 from ..serving import PromptServer
 from .common import ExperimentContext, TableResult, default_config
 
-__all__ = ["serve_bench"]
+__all__ = ["replay_workload", "serve_bench", "serve_bench_sharded"]
+
+
+def replay_workload(server: PromptServer, episodes) -> tuple[list, float]:
+    """One session per episode, round-robin submit, drain; timed.
+
+    Round-robin arrival means every micro-batch mixes queries from many
+    tenants — the cross-session coalescing case both benches measure.
+    """
+    for i, episode in enumerate(episodes):
+        server.open_session(f"session-{i}", episode)
+    start = time.perf_counter()
+    for q in range(episodes[0].num_queries):
+        for i, episode in enumerate(episodes):
+            server.submit(f"session-{i}", episode.queries[q])
+    results = server.drain()
+    return results, time.perf_counter() - start
 
 
 def serve_bench(context: ExperimentContext,
@@ -59,17 +85,7 @@ def serve_bench(context: ExperimentContext,
     for batch_size in batch_sizes:
         server = PromptServer(model, dataset, max_batch_size=batch_size,
                               rng=seed)
-        for i, episode in enumerate(episodes):
-            server.open_session(f"session-{i}", episode)
-
-        start = time.perf_counter()
-        # Round-robin arrival: sessions interleave, so a micro-batch mixes
-        # queries from many tenants — the cross-session coalescing case.
-        for q in range(queries_per_session):
-            for i, episode in enumerate(episodes):
-                server.submit(f"session-{i}", episode.queries[q])
-        results = server.drain()
-        elapsed = time.perf_counter() - start
+        results, elapsed = replay_workload(server, episodes)
 
         qps = len(results) / elapsed
         if baseline_qps is None:
@@ -94,5 +110,89 @@ def serve_bench(context: ExperimentContext,
                      "yes" if identical else "NO"])
     return TableResult(
         title=(f"serve-bench: {num_sessions} sessions × "
+               f"{queries_per_session} queries, {num_ways}-way {target}"),
+        headers=headers, rows=rows, data=data)
+
+
+def serve_bench_sharded(context: ExperimentContext,
+                        source: str = "wiki", target: str = "nell",
+                        num_ways: int = 5, seed: int = 0) -> TableResult:
+    """Sharded/parallel serving vs. unsharded: equality + QPS + counters.
+
+    Raises ``RuntimeError`` when any sharded configuration's predictions
+    differ from the unsharded run — the property the CI shard-smoke job
+    asserts.
+    """
+    config = default_config()
+    state = context.pretrained_state(source)
+    dataset = context.dataset(target)
+    num_sessions = 3 if context.fast else 6
+    queries_per_session = 5 if context.fast else 16
+
+    model = GraphPrompterModel(dataset.graph.feature_dim,
+                               dataset.graph.num_relations, config)
+    model.load_state_dict(state)
+
+    episodes = [
+        sample_episode(dataset, num_ways=num_ways,
+                       num_queries=queries_per_session,
+                       rng=seed * 1000 + i)
+        for i in range(num_sessions)
+    ]
+
+    # The CI smoke runs the serial fallback rows; "auto" exercises the
+    # process pool wherever the host has cores for it.
+    configs = [
+        ("unsharded", 1, 1, "serial"),
+        ("2-shard serial", 2, 2, "serial"),
+        ("4-shard serial", 4, 4, "serial"),
+    ]
+    if not context.fast:
+        configs.append(("4-shard auto", 4, 4, "auto"))
+
+    headers = ["Config", "Shards", "Workers", "Backend", "Queries/s",
+               "Identical", "Req/shard", "Halo", "Busy ms"]
+    rows = []
+    data = {"cells": {}}
+    reference = None
+    for label, num_shards, num_workers, backend in configs:
+        server = PromptServer(model, dataset, max_batch_size=8, rng=seed,
+                              num_shards=num_shards,
+                              num_workers=num_workers,
+                              worker_backend=backend)
+        results, elapsed = replay_workload(server, episodes)
+        stats = server.stats
+        effective = server.router.backend if server.router else "inline"
+        server.close()
+
+        qps = len(results) / elapsed
+        predictions = [(r.session_id, r.prediction) for r in results]
+        if reference is None:
+            reference = predictions
+        identical = predictions == reference
+        if not identical:
+            raise RuntimeError(
+                f"sharded serving diverged from the unsharded run "
+                f"({label}: {num_shards} shards / {num_workers} workers / "
+                f"{backend}) — sharding must never change predictions")
+        shard_counters = stats.shards
+        requests = "/".join(str(c.requests) for c in shard_counters) or "-"
+        busy_ms = 1000.0 * sum(c.worker_busy_s for c in shard_counters)
+        data["cells"][label] = {
+            "qps": qps, "identical": identical,
+            "num_shards": num_shards, "num_workers": num_workers,
+            "backend": effective,
+            "shards": [
+                {"shard_id": c.shard_id, "requests": c.requests,
+                 "halo_fetches": c.halo_fetches,
+                 "worker_busy_s": c.worker_busy_s}
+                for c in shard_counters],
+        }
+        rows.append([label, num_shards, num_workers, effective,
+                     f"{qps:.1f}", "yes" if identical else "NO",
+                     requests, stats.halo_fetches,
+                     f"{busy_ms:.1f}" if shard_counters else "-"])
+    return TableResult(
+        title=(f"serve-bench-sharded: {num_sessions} sessions × "
                f"{queries_per_session} queries, {num_ways}-way {target}"),
         headers=headers, rows=rows, data=data)

@@ -4,7 +4,28 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["CSRAdjacency"]
+__all__ = ["CSRAdjacency", "gather_csr_rows"]
+
+
+def gather_csr_rows(indptr: np.ndarray, data: np.ndarray,
+                    rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated ``data`` rows of a CSR; returns ``(values, lengths)``.
+
+    Flat positions: slot i of row r reads ``data[starts[r] + i -
+    first_slot_of_r]``; folding the starts and the row firsts into one
+    repeat keeps this at three kernels total.  Shared by the adjacency
+    gather, the shard partitioner's row extraction, and the sharded
+    store's per-shard gathers.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = indptr[rows]
+    lens = indptr[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype), lens
+    cum = np.cumsum(lens)
+    shifts = np.repeat(starts - cum + lens, lens)
+    return data[np.arange(total, dtype=np.int64) + shifts], lens
 
 
 class CSRAdjacency:
@@ -31,7 +52,7 @@ class CSRAdjacency:
         self.edge_ids = order
         counts = np.bincount(src, minlength=num_nodes)
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
-        self._scratch_mask: np.ndarray | None = None
+        self._scratch_pool: list[np.ndarray] = []
 
     @property
     def num_edges(self) -> int:
@@ -68,27 +89,28 @@ class CSRAdjacency:
         if frontier.size == 1:
             node = frontier[0]
             return self.indices[self.indptr[node]:self.indptr[node + 1]]
-        starts = self.indptr[frontier]
-        lens = self.indptr[frontier + 1] - starts
-        total = int(lens.sum())
-        if total == 0:
-            return np.empty(0, dtype=np.int64)
-        # Flat positions: slot i of row r reads indices[starts[r] + i -
-        # first_slot_of_r]; folding starts and row firsts into one repeat
-        # keeps this at three kernels total.
-        cum = np.cumsum(lens)
-        shifts = np.repeat(starts - cum + lens, lens)
-        return self.indices[np.arange(total, dtype=np.int64) + shifts]
+        return gather_csr_rows(self.indptr, self.indices, frontier)[0]
 
     def visited_scratch(self) -> np.ndarray:
-        """All-``False`` boolean scratch of length ``num_nodes``.
+        """Check out an all-``False`` boolean scratch of length ``num_nodes``.
 
-        Cached on the adjacency so per-query samplers avoid an O(|V|)
-        allocation per call.  The borrower MUST reset every entry it set to
-        ``True`` before returning (samplers do this in a ``finally`` block);
-        the scratch is not re-entrant, which is fine for the single-threaded
-        sampling paths that use it.
+        Scratches live in a free-list so per-query samplers avoid an O(|V|)
+        allocation per call: the common single-owner case keeps reusing one
+        mask, while nested or concurrent borrowers each get their own mask
+        instead of corrupting a shared one.  The borrower MUST reset every
+        entry it set to ``True`` and hand the mask back via
+        :meth:`release_scratch` (samplers do both in a ``finally`` block).
         """
-        if self._scratch_mask is None or self._scratch_mask.size != self.num_nodes:
-            self._scratch_mask = np.zeros(self.num_nodes, dtype=bool)
-        return self._scratch_mask
+        pool = self._scratch_pool
+        if pool:
+            return pool.pop()
+        return np.zeros(self.num_nodes, dtype=bool)
+
+    def release_scratch(self, mask: np.ndarray) -> None:
+        """Return a mask checked out by :meth:`visited_scratch`.
+
+        The mask must be all-``False`` again — releasing a dirty mask would
+        poison a later borrower's visited set.
+        """
+        if mask.size == self.num_nodes:
+            self._scratch_pool.append(mask)

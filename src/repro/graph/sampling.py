@@ -197,6 +197,7 @@ def _bfs_vectorized(graph, seeds, num_hops, max_nodes, rng) -> np.ndarray:
     finally:
         for part in touched:
             visited[part] = False
+        adj.release_scratch(visited)
 
 
 # ----------------------------------------------------------------------
@@ -261,15 +262,18 @@ def _random_walk_vectorized(graph, seeds, num_hops, max_nodes, rng) -> np.ndarra
     count = start.size
     # Hoisted locals: the walk loop runs once per hop per seed and its
     # fixed-cost Python overhead is what the vectorized absorption must
-    # stay under.
-    indptr, indices = adj.indptr, adj.indices
+    # stay under.  Row fetches go through the adjacency *surface*
+    # (``neighbors``) rather than raw ``indptr``/``indices`` so any
+    # CSR-compatible provider — in particular the sharded store — can
+    # drive the same engine.
+    row_of = adj.neighbors
     draw = rng.integers
     append = collected.append
     try:
         for seed in seeds:
             current = int(seed)
             for _ in range(num_hops):
-                neighbors = indices[indptr[current]:indptr[current + 1]]
+                neighbors = row_of(current)
                 size = neighbors.size
                 if count < max_nodes and size:
                     if size <= _SCALAR_ABSORB_MAX:
@@ -316,6 +320,7 @@ def _random_walk_vectorized(graph, seeds, num_hops, max_nodes, rng) -> np.ndarra
     finally:
         for part in collected:
             visited[part] = False
+        adj.release_scratch(visited)
 
 
 # ----------------------------------------------------------------------

@@ -54,9 +54,12 @@ def _format_results(results: dict) -> str:
             detail = ", ".join(f"{k[:-2]} {cells[k] * 1e6:.0f}us"
                                for k in keys)
         else:     # serving: QPS pair
-            detail = (f"qps {cells['qps_per_query']:.1f} -> "
-                      f"{cells['qps_batched']:.1f}")
-        rows.append([name, f"{cells['speedup']:.2f}x", detail])
+            qps_keys = [k for k in cells if k.startswith("qps_")]
+            detail = ("qps " + " -> ".join(f"{cells[k]:.1f}"
+                                           for k in qps_keys))
+        speedup = (f"{cells['speedup']:.2f}x" if "speedup" in cells
+                   else "-")
+        rows.append([name, speedup, detail])
     return format_table(
         ["Benchmark", "Speedup", "Detail"], rows,
         title=f"Hot-path microbenchmarks ({results['profile']} profile)")
@@ -137,10 +140,23 @@ def bench_main(argv: list[str] | None = None) -> int:
               f"pass a different --output to record this run]")
         write = False
     if write:
+        sections = {name: {"benchmarks": r["benchmarks"]}
+                    for name, r in results.items()}
+        # Merge with the sections already recorded in the output file —
+        # running one profile (e.g. --profile shard) must not drop the
+        # others' committed baselines.
+        if os.path.exists(args.output):
+            try:
+                with open(args.output) as handle:
+                    existing = json.load(handle)
+            except (OSError, ValueError):
+                existing = {}
+            previous = existing.get("profiles")
+            if isinstance(previous, dict):
+                sections = {**previous, **sections}
         payload = {
             "schema": BASELINE_SCHEMA,
-            "profiles": {name: {"benchmarks": r["benchmarks"]}
-                         for name, r in results.items()},
+            "profiles": sections,
         }
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

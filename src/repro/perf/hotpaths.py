@@ -19,6 +19,16 @@ Benchmarked pairs
   ``no_grad`` numpy forward.
 * ``serving_microbatch`` — end-to-end :class:`~repro.serving.PromptServer`
   queries/sec, per-query serving vs. cross-session micro-batching.
+
+The ``shard`` profile benchmarks the horizontal-scale subsystem instead
+(``repro bench --profile shard``):
+
+* ``shard_partition`` — greedy vs. hash partition wall-clock;
+* ``shard_sampling`` — monolithic CSR sampling vs. the K-shard
+  :class:`~repro.shard.ShardedGraphStore` (bit-identical outputs; the
+  ratio tracks the halo-resolution overhead);
+* ``shard_parallel_qps`` — sharded serve QPS, single worker vs. the
+  process pool.
 """
 
 from __future__ import annotations
@@ -80,6 +90,19 @@ PROFILES = {
                   encode_subgraphs=8, hidden_dim=16,
                   serve_sessions=2, serve_queries=3, serve_batch=4,
                   num_ways=3, min_runtime_s=0.01),
+    # Horizontal-scale subsystem (runs the shard benchmarks only).  The
+    # serving workload is deliberately encode-heavy (wide model, large
+    # subgraph cap, fat micro-batches): process workers only pay off once
+    # per-task compute dominates task pickling, which is the regime the
+    # pool targets — web-scale graphs, not smoke-test ones.
+    "shard": dict(sample_nodes=4000, sample_edges=400_000,
+                  sample_calls=24, bfs_hops=2, bfs_cap=256,
+                  rw_hops=3, rw_cap=1024,
+                  nodes=3000, edges=18000, relations=8, feature_dim=32,
+                  max_nodes=48, hidden_dim=64,
+                  shard_k=2, serve_sessions=6, serve_queries=12,
+                  serve_batch=32, serve_workers=2,
+                  num_ways=5, min_runtime_s=0.05),
 }
 
 
@@ -210,6 +233,11 @@ def _encoding_benchmark(graph, p: dict) -> dict:
 
 
 def _serving_benchmark(graph, p: dict) -> dict:
+    # The replay protocol (round-robin arrival across sessions) is owned
+    # by the serve-bench experiment — reusing it keeps the perf baseline
+    # measuring exactly the workload serve-bench validates.
+    from ..experiments.serving import replay_workload
+
     config = GraphPrompterConfig(hidden_dim=p["hidden_dim"],
                                  max_subgraph_nodes=p["max_nodes"])
     dataset = Dataset(graph, EDGE_TASK, rng=0)
@@ -228,14 +256,7 @@ def _serving_benchmark(graph, p: dict) -> dict:
         for _ in range(3):
             server = PromptServer(model, dataset, max_batch_size=batch_size,
                                   rng=0)
-            for i, episode in enumerate(episodes):
-                server.open_session(f"s{i}", episode)
-            start = time.perf_counter()
-            for q in range(p["serve_queries"]):
-                for i, episode in enumerate(episodes):
-                    server.submit(f"s{i}", episode.queries[q])
-            results = server.drain()
-            elapsed = time.perf_counter() - start
+            results, elapsed = replay_workload(server, episodes)
             best = max(best, len(results) / elapsed)
         return best
 
@@ -250,23 +271,130 @@ def _serving_benchmark(graph, p: dict) -> dict:
     }}
 
 
+def _shard_benchmarks(p: dict) -> dict:
+    """Partition time, cross-shard sampling overhead, parallel serve QPS."""
+    from ..shard import ShardedGraphStore, partition_graph
+
+    dense = _dense_sampling_graph(p)
+    dense.undirected_adjacency  # CSR build outside the timed region
+    K = p["shard_k"]
+    out: dict = {"shard_partition": {}}
+    for strategy in ("greedy", "hash"):
+        measured = time_callable(
+            lambda strategy=strategy: partition_graph(dense, K, strategy),
+            min_runtime_s=p["min_runtime_s"], repeats=3)
+        out["shard_partition"][f"{strategy}_s"] = measured.per_call_s
+    out["shard_partition"]["num_shards"] = K
+    out["shard_partition"]["edges"] = dense.num_edges
+
+    # Cross-shard sampling: the K-shard store's halo resolution vs. the
+    # monolithic CSR, same seeds and draws (outputs are bit-identical —
+    # the equivalence suite asserts it; this pins what it costs).
+    view = ShardedGraphStore.from_graph(dense, K, "greedy").view()
+    rng_np = np.random.default_rng(1)
+    seeds = rng_np.integers(0, dense.num_nodes, size=p["sample_calls"])
+
+    def run(graph, sampler, hops, cap):
+        rng = np.random.default_rng(0)
+
+        def call():
+            for seed in seeds:
+                sampler(graph, np.array([seed]), hops, cap, rng)
+        return call
+
+    for name, sampler, hops, cap in (
+            ("shard_sampling_bfs", bfs_neighborhood,
+             p["bfs_hops"], p["bfs_cap"]),
+            ("shard_sampling_random_walk", random_walk_neighborhood,
+             p["rw_hops"], p["rw_cap"])):
+        mono = time_callable(run(dense, sampler, hops, cap),
+                             min_runtime_s=p["min_runtime_s"], repeats=5)
+        sharded = time_callable(run(view, sampler, hops, cap),
+                                min_runtime_s=p["min_runtime_s"], repeats=5)
+        # speedup < 1 is expected: this ratio tracks halo overhead, and
+        # the regression check guards it from silently getting worse.
+        out[name] = _pair(mono.per_call_s, sharded.per_call_s,
+                          "monolithic_s", "sharded_s")
+        out[name]["num_shards"] = K
+
+    # Parallel serving: K shards, 1 worker vs. the process pool.
+    from ..experiments.serving import replay_workload
+
+    graph = _benchmark_graph(p)
+    config = GraphPrompterConfig(hidden_dim=p["hidden_dim"],
+                                 max_subgraph_nodes=p["max_nodes"])
+    dataset = Dataset(graph, EDGE_TASK, rng=0)
+    model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                               config)
+    episodes = [
+        sample_episode(dataset, num_ways=p["num_ways"],
+                       num_queries=p["serve_queries"], rng=100 + i)
+        for i in range(p["serve_sessions"])
+    ]
+
+    def serve_qps(num_workers: int, backend: str) -> tuple[float, str]:
+        best, effective = 0.0, backend
+        for _ in range(3):
+            server = PromptServer(model, dataset,
+                                  max_batch_size=p["serve_batch"], rng=0,
+                                  num_shards=K, num_workers=num_workers,
+                                  worker_backend=backend)
+            results, elapsed = replay_workload(server, episodes)
+            best = max(best, len(results) / elapsed)
+            effective = server.router.backend
+            server.close()
+        return best, effective
+
+    from ..shard.workers import usable_cores
+
+    # ``auto`` picks processes only on multi-core hosts, so on a 1-core
+    # runner this measures the serial fallback against itself (speedup
+    # ~1.0) instead of paying IPC for parallelism the host cannot give.
+    # ``cores`` is recorded so baselines stay interpretable across
+    # machines.
+    qps_serial, _ = serve_qps(1, "serial")
+    qps_parallel, effective = serve_qps(p["serve_workers"], "auto")
+    out["shard_parallel_qps"] = {
+        "qps_1worker": qps_serial,
+        "qps_parallel": qps_parallel,
+        "speedup": (qps_parallel / qps_serial if qps_serial > 0
+                    else float("inf")),
+        "workers": p["serve_workers"],
+        "num_shards": K,
+        "backend": effective,
+        "cores": usable_cores(),
+    }
+    return out
+
+
 def run_benchmarks(profile: str = "full") -> dict:
     """Run every hot-path benchmark; returns the JSON-ready result dict."""
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; "
                          f"use one of {sorted(PROFILES)}")
     p = PROFILES[profile]
-    graph = _benchmark_graph(p)
     benchmarks: dict = {}
-    benchmarks.update(_sampling_benchmarks(p))
-    benchmarks.update(_batching_benchmark(p))
-    benchmarks.update(_encoding_benchmark(graph, p))
-    benchmarks.update(_serving_benchmark(graph, p))
+    if profile == "shard":
+        benchmarks.update(_shard_benchmarks(p))
+    else:
+        graph = _benchmark_graph(p)
+        benchmarks.update(_sampling_benchmarks(p))
+        benchmarks.update(_batching_benchmark(p))
+        benchmarks.update(_encoding_benchmark(graph, p))
+        benchmarks.update(_serving_benchmark(graph, p))
     return {
         "schema": SCHEMA_VERSION,
         "profile": profile,
         "benchmarks": benchmarks,
     }
+
+
+#: Result keys recording the *environment* a ratio was measured under.
+#: When current and baseline disagree on one (e.g. the parallel-QPS row
+#: measured with the process pool on a multi-core runner vs. the serial
+#: fallback on a 1-core box), their speedups describe different
+#: experiments and comparing them would only produce false alarms.
+_ENVIRONMENT_KEYS = ("backend", "cores")
 
 
 def check_regression(current: dict, baseline: dict,
@@ -276,7 +404,9 @@ def check_regression(current: dict, baseline: dict,
     A benchmark regresses when its speedup ratio falls below the
     baseline's by more than ``tolerance``× — ratios, not absolute times,
     so the check is portable across machines (the committed baseline was
-    produced on different hardware than CI runners).
+    produced on different hardware than CI runners).  Benchmarks whose
+    recorded environment keys (``backend``/``cores``) differ from the
+    baseline's are skipped: their ratios measure different experiments.
     """
     if tolerance < 1.0:
         raise ValueError("tolerance must be at least 1.0")
@@ -285,6 +415,10 @@ def check_regression(current: dict, baseline: dict,
     for name, result in current.get("benchmarks", {}).items():
         base = base_benchmarks.get(name)
         if base is None or "speedup" not in base or "speedup" not in result:
+            continue
+        if any(result.get(key) != base.get(key)
+               for key in _ENVIRONMENT_KEYS
+               if key in result or key in base):
             continue
         floor = base["speedup"] / tolerance
         if result["speedup"] < floor:

@@ -10,9 +10,15 @@ pipeline:
 * :class:`MicroBatchScheduler` — coalesces pending queries across sessions
   into one GNN encoding pass (max-batch-size / max-wait policy);
 * :class:`PromptServer` — ``open_session`` / ``submit`` / ``drain`` façade,
-  warm-startable from the shared disk artifact cache.
+  warm-startable from the shared disk artifact cache;
+* :class:`ShardRouter` — constructed when the server is given
+  ``num_shards``/``num_workers``: partitions the graph
+  (:mod:`repro.shard`), fans each micro-batch out per shard to a process
+  worker pool, and merges rows back in submission order — bit-identical
+  results, horizontal throughput.
 """
 
+from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
 from .server import PromptServer, ServeResult, ServerStats
 from .session import SessionState, SessionStats, SessionStore
@@ -23,6 +29,7 @@ __all__ = [
     "PromptServer",
     "ServeResult",
     "ServerStats",
+    "ShardRouter",
     "SessionState",
     "SessionStats",
     "SessionStore",

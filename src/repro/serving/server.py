@@ -16,9 +16,16 @@ subgraph sampling is deterministic per datapoint, serving with any
 ``max_batch_size`` produces bit-identical predictions to per-query serving
 — micro-batching is purely a throughput optimization.
 
-The server is synchronous and single-threaded by design: the numpy substrate
-releases no GIL worth exploiting, and a deterministic drain loop keeps the
-batching policy testable.  ``clock`` is injectable for TTL tests.
+The drain loop itself stays synchronous and deterministic (that is what
+keeps the batching policy testable), but the encoding hot path can scale
+*horizontally*: constructed with ``num_shards``/``num_workers``, the server
+routes every micro-batch through a :class:`ShardRouter` — the graph is
+split into shards (:mod:`repro.shard`), each batch is fanned out per shard
+to a process worker pool, and the rows are merged back in submission
+order.  Sharded sampling is bit-identical to the monolithic engines and
+encoding is batch-composition-invariant, so sharded/parallel serving
+returns exactly the same predictions — it is a pure throughput lever.
+``clock`` is injectable for TTL tests.
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ from ..core.model import GraphPrompterModel
 from ..core.prompt_augmenter import PromptAugmenter
 from ..datasets.base import Dataset
 from ..graph.datapoints import Datapoint
+from ..shard import ShardCounters
+from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
 from .session import SessionState, SessionStore
 
@@ -67,7 +76,13 @@ class ServeResult:
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Snapshot of server-level counters across all sessions."""
+    """Snapshot of server-level counters across all sessions.
+
+    ``shards`` holds one :class:`~repro.shard.ShardCounters` per shard
+    (``requests`` routed, ``halo_fetches`` across shard boundaries,
+    ``worker_busy_s`` of task execution) when the server runs sharded;
+    empty on the monolithic path.
+    """
 
     queries: int = 0
     batches: int = 0
@@ -75,10 +90,16 @@ class ServerStats:
     sessions_opened: int = 0
     sessions_evicted: int = 0
     sessions_expired: int = 0
+    shards: tuple[ShardCounters, ...] = ()
 
     @property
     def mean_batch_size(self) -> float:
         return self.encoded_subgraphs / self.batches if self.batches else 0.0
+
+    @property
+    def halo_fetches(self) -> int:
+        """Total cross-shard row fetches (0 when unsharded)."""
+        return sum(c.halo_fetches for c in self.shards)
 
 
 class PromptServer:
@@ -90,7 +111,11 @@ class PromptServer:
                  session_ttl_s: float | None = None,
                  result_buffer_size: int = 4096,
                  rng: np.random.Generator | int | None = None,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 num_shards: int | None = None,
+                 num_workers: int | None = None,
+                 shard_strategy: str | None = None,
+                 worker_backend: str | None = None):
         if result_buffer_size < 1:
             raise ValueError("result_buffer_size must be at least 1")
         model.eval()
@@ -103,6 +128,23 @@ class PromptServer:
         # Serving requires order-independent subgraphs: the same query must
         # encode identically whether it rides a batch of 1 or 16.
         self.pipeline.generator.deterministic = True
+        # Horizontal scale: unspecified knobs fall back to the config;
+        # (1 shard, 1 worker) keeps the monolithic in-process hot path.
+        num_shards = self.config.num_shards if num_shards is None \
+            else num_shards
+        num_workers = self.config.num_workers if num_workers is None \
+            else num_workers
+        shard_strategy = shard_strategy or self.config.shard_strategy
+        worker_backend = worker_backend or self.config.worker_backend
+        self.router: ShardRouter | None = None
+        if num_shards > 1 or num_workers > 1:
+            self.router = ShardRouter(
+                model, dataset.graph, num_shards=num_shards,
+                num_workers=num_workers, strategy=shard_strategy,
+                backend=worker_backend)
+            # Candidate pools and query batches both flow through
+            # encode_points — route them all through the shards.
+            self.pipeline.point_encoder = self.router.encode_points
         self.scheduler = MicroBatchScheduler(max_batch_size=max_batch_size,
                                              max_wait_s=max_wait_s,
                                              clock=clock)
@@ -126,7 +168,19 @@ class PromptServer:
             encoded_subgraphs=self._encoded_subgraphs,
             sessions_opened=self._sessions_opened,
             sessions_evicted=self.sessions.evicted_total,
-            sessions_expired=self.sessions.expired_total)
+            sessions_expired=self.sessions.expired_total,
+            shards=self.router.stats() if self.router is not None else ())
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for the monolithic path)."""
+        if self.router is not None:
+            self.router.close()
+
+    def __enter__(self) -> "PromptServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Session lifecycle

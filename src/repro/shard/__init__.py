@@ -1,0 +1,34 @@
+"""Sharded graph execution: partitioner, sharded store, worker pool.
+
+The horizontal-scale subsystem: an edge-cut **partitioner**
+(:func:`partition_graph` — greedy-balance or hash node assignment, stable
+global↔local id maps, per-shard CSR), a **ShardedGraphStore** answering
+the monolithic adjacency's query surface with halo/ghost resolution across
+shard boundaries (bit-identical sampling, any K), and a **WorkerPool**
+running shard-local sampling+encoding tasks across processes with a serial
+in-process fallback.  :class:`~repro.serving.ShardRouter` wires the three
+into :class:`~repro.serving.PromptServer`.
+"""
+
+from .partition import (
+    PARTITION_STRATEGIES,
+    GraphShard,
+    ShardPlan,
+    partition_graph,
+    partition_nodes,
+)
+from .store import ShardCounters, ShardedGraphStore, ShardedGraphView
+from .workers import WORKER_BACKENDS, WorkerPool
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "WORKER_BACKENDS",
+    "GraphShard",
+    "ShardPlan",
+    "ShardCounters",
+    "ShardedGraphStore",
+    "ShardedGraphView",
+    "WorkerPool",
+    "partition_graph",
+    "partition_nodes",
+]

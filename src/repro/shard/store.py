@@ -1,0 +1,297 @@
+"""Sharded graph store: CSR-compatible queries with halo resolution.
+
+:class:`ShardedGraphStore` exposes the same query surface as
+:class:`~repro.graph.csr.CSRAdjacency` — ``neighbors`` /
+``gather_neighbors`` / ``degree`` / ``visited_scratch`` — over a
+K-way :class:`~repro.shard.partition.ShardPlan`.  Every row fetch is
+routed to the owner shard's local CSR and the local destination ids are
+translated back to global ids through the shard's ghost table, so callers
+(the samplers) never observe the partition: the returned arrays are
+bit-identical to the monolithic adjacency's, whatever ``K``.
+
+:class:`ShardedGraphView` wraps a store in the duck-type surface of
+:class:`~repro.graph.graph.Graph` that sampling and subgraph induction
+consume (``undirected_adjacency``, ``adjacency.neighbor_edges``,
+``node_features[...]``, ``rel``, ``relation_features``), which is what
+lets ``bfs_neighborhood`` / ``random_walk_neighborhood`` /
+``sample_data_graph`` run unchanged — both engines — on a sharded graph.
+
+What is sharded vs. replicated: adjacency structure and the node-feature
+payload (the O(|V|·d) + O(|E|) bulk) are keyed by owner shard; small
+metadata — the owner map, relation types, and relation features — is
+replicated to every shard, mirroring how distributed graph stores keep
+routing tables local.  In this single-host embodiment the whole store
+(all shards) is still shipped to every worker process, so sharding buys
+**compute parallelism and shard-local access patterns** — the layout,
+routing, and halo accounting of a distributed store — not yet per-process
+memory reduction; pinning workers to their home shard's slice is the
+follow-up that turns the same layout into a memory win.
+
+Counters: while a task for *home shard* ``h`` runs (``home_shard`` set by
+the worker), every row fetch served by a shard ``k != h`` counts as one
+**halo fetch** — the number the serving layer surfaces per shard in
+:class:`~repro.serving.ServerStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .partition import ShardPlan, partition_graph
+
+__all__ = ["ShardCounters", "ShardedGraphStore", "ShardedGraphView"]
+
+
+@dataclass
+class ShardCounters:
+    """Per-shard serving/sampling ledger."""
+
+    shard_id: int = 0
+    requests: int = 0        # datapoints routed to this shard
+    halo_fetches: int = 0    # remote row fetches made by this shard's tasks
+    worker_busy_s: float = 0.0
+
+    def snapshot(self) -> "ShardCounters":
+        return ShardCounters(shard_id=self.shard_id, requests=self.requests,
+                             halo_fetches=self.halo_fetches,
+                             worker_busy_s=self.worker_busy_s)
+
+
+class ShardedGraphStore:
+    """K-shard graph store with a monolithic-CSR-compatible query surface."""
+
+    def __init__(self, graph: Graph, plan: ShardPlan):
+        self.plan = plan
+        self.num_shards = plan.num_shards
+        self.owner = plan.owner
+        self.local_id = plan.local_id
+        self.shards = plan.shards
+        self.num_nodes = graph.num_nodes
+        self.num_edges = graph.num_edges
+        self.num_relations = graph.num_relations
+        self.feature_dim = graph.feature_dim
+        self.name = graph.name
+        # Replicated metadata (small); sharded payload (large).
+        self.rel = graph.rel
+        self.relation_features = graph.relation_features
+        self._features = [graph.node_features[sh.nodes] for sh in self.shards]
+        self._scratch_pool: list[np.ndarray] = []
+        #: Home shard of the task currently using this store (set by the
+        #: worker); fetches served by any other shard count as halo.
+        self.home_shard: int | None = None
+        self._halo_fetches = 0
+
+    @classmethod
+    def from_graph(cls, graph: Graph, num_shards: int,
+                   strategy: str = "greedy") -> "ShardedGraphStore":
+        return cls(graph, partition_graph(graph, num_shards, strategy))
+
+    def view(self) -> "ShardedGraphView":
+        return ShardedGraphView(self)
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    @property
+    def halo_fetches(self) -> int:
+        """Remote row fetches since the last :meth:`reset_counters`."""
+        return self._halo_fetches
+
+    def reset_counters(self) -> None:
+        self._halo_fetches = 0
+
+    def _count(self, serving_shard: int, fetches: int) -> None:
+        if self.home_shard is not None and serving_shard != self.home_shard:
+            self._halo_fetches += fetches
+
+    # ------------------------------------------------------------------
+    # CSRAdjacency-compatible surface (undirected sampling rows)
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        """Undirected neighbours of ``node``, global ids, monolithic order."""
+        k = int(self.owner[node])
+        shard = self.shards[k]
+        self._count(k, 1)
+        local = self.local_id[node]
+        row = shard.csr.indices[shard.csr.indptr[local]:
+                                shard.csr.indptr[local + 1]]
+        return shard.local_nodes[row]
+
+    def gather_neighbors(self, frontier: np.ndarray) -> np.ndarray:
+        """Concatenated neighbour rows of ``frontier``, frontier order.
+
+        Rows are fetched shard-by-shard (one grouped gather per shard
+        touched) and scattered back into their frontier positions, so the
+        result equals the monolithic
+        :meth:`~repro.graph.csr.CSRAdjacency.gather_neighbors` exactly.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        if frontier.size == 0:
+            return np.empty(0, dtype=np.int64)
+        owners = self.owner[frontier]
+        locals_ = self.local_id[frontier]
+        lens = np.empty(frontier.size, dtype=np.int64)
+        touched = np.unique(owners)
+        for k in touched:
+            member = owners == k
+            indptr = self.shards[k].csr.indptr
+            loc = locals_[member]
+            lens[member] = indptr[loc + 1] - indptr[loc]
+        ends = np.cumsum(lens)
+        total = int(ends[-1])
+        out = np.empty(total, dtype=np.int64)
+        starts = ends - lens
+        for k in touched:
+            member = owners == k
+            shard = self.shards[k]
+            self._count(int(k), int(member.sum()))
+            vals = shard.local_nodes[shard.csr.gather_neighbors(
+                locals_[member])]
+            seg_lens = lens[member]
+            if vals.size == 0:
+                continue
+            # Scatter each shard's concatenated rows into the positions of
+            # its frontier members (same repeat trick as the CSR gather).
+            cum = np.cumsum(seg_lens)
+            shifts = np.repeat(starts[member] - cum + seg_lens, seg_lens)
+            out[np.arange(vals.size, dtype=np.int64) + shifts] = vals
+        return out
+
+    def degree(self, node: int | None = None):
+        """Undirected degree of ``node``, or the full vector when ``None``."""
+        if node is not None:
+            k = int(self.owner[node])
+            shard = self.shards[k]
+            local = self.local_id[node]
+            return int(shard.csr.indptr[local + 1] - shard.csr.indptr[local])
+        out = np.empty(self.num_nodes, dtype=np.int64)
+        for shard in self.shards:
+            out[shard.nodes] = np.diff(shard.csr.indptr)[:shard.num_owned]
+        return out
+
+    def visited_scratch(self) -> np.ndarray:
+        """Check out a global-length all-``False`` mask (see CSRAdjacency)."""
+        pool = self._scratch_pool
+        if pool:
+            return pool.pop()
+        return np.zeros(self.num_nodes, dtype=bool)
+
+    def release_scratch(self, mask: np.ndarray) -> None:
+        if mask.size == self.num_nodes:
+            self._scratch_pool.append(mask)
+
+    # ------------------------------------------------------------------
+    # Directed rows (subgraph induction)
+    # ------------------------------------------------------------------
+    def neighbor_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """(global destinations, original edge ids) of ``node``'s out-edges."""
+        k = int(self.owner[node])
+        shard = self.shards[k]
+        self._count(k, 1)
+        local = int(self.local_id[node])
+        lo, hi = shard.d_indptr[local], shard.d_indptr[local + 1]
+        return shard.d_indices[lo:hi], shard.d_edge_ids[lo:hi]
+
+    def gather_node_features(self, nodes: np.ndarray) -> np.ndarray:
+        """Feature rows of global ``nodes``, assembled across shards."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        owners = self.owner[nodes]
+        out = np.empty((nodes.size, self.feature_dim),
+                       dtype=self._features[0].dtype
+                       if self._features else np.float64)
+        for k in np.unique(owners):
+            member = owners == k
+            self._count(int(k), int(member.sum()))
+            out[member] = self._features[k][self.local_id[nodes[member]]]
+        return out
+
+
+class _ShardedDirectedAdjacency:
+    """Duck-type of ``Graph.adjacency`` for subgraph induction."""
+
+    def __init__(self, store: ShardedGraphStore):
+        self._store = store
+
+    def neighbor_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        return self._store.neighbor_edges(node)
+
+
+class _ShardedNodeRows:
+    """Duck-type of the ``graph.node_features`` array (row gather only)."""
+
+    def __init__(self, store: ShardedGraphStore):
+        self._store = store
+
+    def __getitem__(self, nodes) -> np.ndarray:
+        return self._store.gather_node_features(nodes)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._store.num_nodes, self._store.feature_dim)
+
+
+class ShardedGraphView:
+    """Graph-shaped facade over a :class:`ShardedGraphStore`.
+
+    Implements exactly the surface the samplers and
+    :func:`~repro.graph.subgraph.induced_subgraph` touch, so
+    ``sample_data_graph(view, datapoint, ...)`` returns the same
+    :class:`~repro.graph.subgraph.Subgraph` — bit-for-bit — as with the
+    original monolithic :class:`~repro.graph.graph.Graph`.
+    """
+
+    def __init__(self, store: ShardedGraphStore):
+        self.store = store
+        self.name = f"{store.name}[sharded x{store.num_shards}]"
+        self._directed = _ShardedDirectedAdjacency(store)
+        self._node_rows = _ShardedNodeRows(store)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.store.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.store.num_edges
+
+    @property
+    def num_relations(self) -> int:
+        return self.store.num_relations
+
+    @property
+    def feature_dim(self) -> int:
+        return self.store.feature_dim
+
+    @property
+    def rel(self) -> np.ndarray:
+        return self.store.rel
+
+    @property
+    def relation_features(self) -> np.ndarray | None:
+        return self.store.relation_features
+
+    @property
+    def node_features(self) -> _ShardedNodeRows:
+        return self._node_rows
+
+    @property
+    def adjacency(self) -> _ShardedDirectedAdjacency:
+        return self._directed
+
+    @property
+    def undirected_adjacency(self) -> ShardedGraphStore:
+        return self.store
+
+    def neighbors(self, node: int) -> np.ndarray:
+        return self.store.neighbors(node)
+
+    def degree(self, node: int | None = None):
+        return self.store.degree(node)
+
+    def __repr__(self) -> str:
+        return (f"ShardedGraphView(name={self.name!r}, "
+                f"nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"shards={self.store.num_shards})")

@@ -1,0 +1,152 @@
+"""Worker pool running shard tasks across processes, with a serial fallback.
+
+The numpy substrate releases no GIL worth exploiting, so horizontal scale
+comes from **processes**: each worker process builds its own context once
+(model replica, sharded store, batch arena — via a picklable initializer)
+and then maps tasks over it.  The ``"serial"`` backend runs the identical
+protocol in-process — the deterministic reference used by tests, CI, and
+platforms without a usable ``multiprocessing`` start method; results are
+bit-identical either way because every numpy op is.
+
+Protocol: task functions have the signature ``fn(context, task)`` and must
+be module-level (picklable) for the process backend.  ``map`` preserves
+submission order and returns ``(result, busy_seconds)`` pairs, the per-task
+wall time the serving layer aggregates into ``worker_busy_s``.
+
+A broken pool (e.g. a sandbox that forbids forking) degrades to the serial
+backend permanently instead of failing the request path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+__all__ = ["WorkerPool", "WORKER_BACKENDS"]
+
+WORKER_BACKENDS = ("auto", "serial", "process")
+
+#: Per-process worker context, set once by the pool initializer.
+_CONTEXT = None
+
+
+def _process_init(initializer, initargs) -> None:
+    global _CONTEXT
+    _CONTEXT = initializer(*initargs)
+
+
+def _process_call(payload):
+    fn, task = payload
+    start = time.perf_counter()
+    result = fn(_CONTEXT, task)
+    return result, time.perf_counter() - start
+
+
+def _pick_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """Order-preserving task mapper over N workers.
+
+    Parameters
+    ----------
+    initializer, initargs:
+        Build one worker context; called once per process (process
+        backend) or once lazily in-process (serial backend).  Must be
+        picklable for the process backend.
+    num_workers:
+        Process count; 1 with ``backend="auto"`` means serial.
+    backend:
+        ``"process"``, ``"serial"``, or ``"auto"`` — auto picks processes
+        only when ``num_workers > 1`` *and* the host has more than one
+        usable core (a 1-core host pays IPC for zero parallelism);
+        ``"process"`` forces a pool regardless.
+    """
+
+    def __init__(self, initializer, initargs=(), num_workers: int = 1,
+                 backend: str = "auto"):
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if backend not in WORKER_BACKENDS:
+            raise ValueError(f"unknown worker backend {backend!r}; "
+                             f"use one of {WORKER_BACKENDS}")
+        self.num_workers = num_workers
+        self.requested_backend = backend
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._context = None
+        self._pool = None
+        resolved = backend
+        if backend == "auto":
+            resolved = ("process" if num_workers > 1 and usable_cores() > 1
+                        else "serial")
+        if resolved == "process":
+            try:
+                ctx = multiprocessing.get_context(_pick_start_method())
+                self._pool = ctx.Pool(
+                    num_workers, initializer=_process_init,
+                    initargs=(initializer, self._initargs))
+            except Exception:
+                resolved = "serial"
+        self.backend = resolved
+
+    # ------------------------------------------------------------------
+    def _serial_context(self):
+        if self._context is None:
+            self._context = self._initializer(*self._initargs)
+        return self._context
+
+    def map(self, fn, tasks) -> list:
+        """Run ``fn(context, task)`` for every task, submission order.
+
+        Returns ``[(result, busy_seconds), ...]`` aligned with ``tasks``.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self._pool is not None:
+            try:
+                return self._pool.map(_process_call,
+                                      [(fn, task) for task in tasks])
+            except Exception:
+                # The pool died (forbidden fork, killed worker): degrade to
+                # serial for the rest of this pool's life.
+                self.close()
+                self.backend = "serial"
+        context = self._serial_context()
+        out = []
+        for task in tasks:
+            start = time.perf_counter()
+            result = fn(context, task)
+            out.append((result, time.perf_counter() - start))
+        return out
+
+    def close(self) -> None:
+        """Shut the process pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -63,7 +63,7 @@ class TestRunBenchmarks:
         assert set(parsed["benchmarks"]) == EXPECTED_BENCHMARKS
 
     def test_profiles_cover_expected_scales(self):
-        assert set(PROFILES) == {"full", "quick", "smoke"}
+        assert set(PROFILES) == {"full", "quick", "smoke", "shard"}
         assert (PROFILES["full"]["sample_edges"]
                 > PROFILES["quick"]["sample_edges"]
                 > PROFILES["smoke"]["sample_edges"])
@@ -82,6 +82,20 @@ class TestCheckRegression:
         current = self._results({"a": 2.1})
         baseline = self._results({"a": 3.0})
         assert check_regression(current, baseline, tolerance=1.5) == []
+
+    def test_environment_mismatch_is_skipped(self):
+        # A ratio measured under a different backend/core count (e.g. the
+        # process pool on an 8-core runner vs. the serial fallback on the
+        # 1-core box that recorded the baseline) describes a different
+        # experiment — never compared, in either direction.
+        current = {"benchmarks": {"shard_parallel_qps": {
+            "speedup": 0.2, "backend": "process", "cores": 8}}}
+        baseline = {"benchmarks": {"shard_parallel_qps": {
+            "speedup": 1.0, "backend": "serial", "cores": 1}}}
+        assert check_regression(current, baseline) == []
+        matched = {"benchmarks": {"shard_parallel_qps": {
+            "speedup": 0.2, "backend": "serial", "cores": 1}}}
+        assert len(check_regression(matched, baseline)) == 1
 
     def test_regression_detected(self):
         current = self._results({"a": 1.0})

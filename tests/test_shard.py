@@ -1,0 +1,444 @@
+"""Sharded graph execution: partitioner invariants, bit-identity, serving.
+
+Pins the contracts of :mod:`repro.shard` and its serving integration:
+
+* partitioner — every directed edge on exactly one shard, global↔local id
+  maps are bijections, the shard union reconstructs the original graph;
+* store — the CSR-compatible query surface (``neighbors`` /
+  ``gather_neighbors`` / ``degree``) answers exactly like the monolithic
+  adjacency, for any K and either strategy;
+* sampling — BFS and random-walk over the sharded view are bit-identical
+  to the monolithic engines (same RNG state), across ≥20 random graphs ×
+  seeds × K ∈ {1, 2, 4};
+* serving — ``PromptServer(num_shards=..., num_workers=...)`` returns the
+  same predictions as the monolithic server (confidences equal up to the
+  encoder's batch-shape float wobble) and surfaces per-shard counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphPrompterConfig, GraphPrompterModel, sample_episode
+from repro.core.inference import GraphPrompterPipeline
+from repro.datasets import Dataset, EDGE_TASK
+from repro.datasets.synthetic import (
+    synthetic_citation_graph,
+    synthetic_knowledge_graph,
+)
+from repro.graph import EdgeInput
+from repro.graph.sampling import (
+    bfs_neighborhood,
+    random_walk_neighborhood,
+    sample_data_graph,
+)
+from repro.serving import PromptServer
+from repro.serving.router import ShardRouter
+from repro.shard import (
+    PARTITION_STRATEGIES,
+    ShardedGraphStore,
+    WorkerPool,
+    partition_graph,
+    partition_nodes,
+)
+from repro.shard.workers import usable_cores
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def random_graphs(count: int, base_seed: int = 0):
+    """Mixed KG / citation graphs spanning degree regimes."""
+    graphs = []
+    for i in range(count):
+        if i % 2 == 0:
+            graphs.append(synthetic_knowledge_graph(
+                60 + 17 * i, 4 + i % 3, 300 + 41 * i, feature_dim=6,
+                rng=base_seed + i))
+        else:
+            graphs.append(synthetic_citation_graph(
+                50 + 13 * i, 5, feature_dim=6, avg_degree=6.0,
+                rng=base_seed + i))
+    return graphs
+
+
+# ----------------------------------------------------------------------
+# Partitioner invariants
+# ----------------------------------------------------------------------
+class TestPartitionerInvariants:
+
+    def test_every_edge_assigned_exactly_once(self):
+        for graph in random_graphs(10):
+            for K in SHARD_COUNTS:
+                for strategy in PARTITION_STRATEGIES:
+                    plan = partition_graph(graph, K, strategy)
+                    assigned = np.concatenate(
+                        [shard.edge_ids for shard in plan.shards])
+                    assert np.array_equal(
+                        np.sort(assigned), np.arange(graph.num_edges))
+
+    def test_id_maps_are_bijections(self):
+        for graph in random_graphs(6):
+            for K in SHARD_COUNTS:
+                plan = partition_graph(graph, K, "greedy")
+                # Owned node sets partition V.
+                owned_all = np.concatenate(
+                    [shard.nodes for shard in plan.shards])
+                assert np.array_equal(np.sort(owned_all),
+                                      np.arange(graph.num_nodes))
+                for shard in plan.shards:
+                    # local -> global -> local roundtrip on owned nodes.
+                    assert np.array_equal(
+                        shard.local_nodes[plan.local_id[shard.nodes]],
+                        shard.nodes)
+                    assert np.array_equal(
+                        plan.local_id[shard.nodes],
+                        np.arange(shard.num_owned))
+                    # Ghosts are foreign and never duplicated.
+                    ghosts = shard.local_nodes[shard.num_owned:]
+                    assert np.unique(ghosts).size == ghosts.size
+                    assert not np.isin(ghosts, shard.nodes).any()
+                    assert (plan.owner[ghosts] != shard.shard_id).all()
+
+    def test_shard_union_reconstructs_graph(self):
+        for graph in random_graphs(6):
+            for strategy in PARTITION_STRATEGIES:
+                plan = partition_graph(graph, 3, strategy)
+                src_parts, dst_parts, eid_parts = [], [], []
+                for shard in plan.shards:
+                    lens = np.diff(shard.d_indptr)
+                    src_parts.append(np.repeat(shard.nodes, lens))
+                    dst_parts.append(shard.d_indices)
+                    eid_parts.append(shard.d_edge_ids)
+                eids = np.concatenate(eid_parts)
+                order = np.argsort(eids)
+                assert np.array_equal(eids[order],
+                                      np.arange(graph.num_edges))
+                assert np.array_equal(
+                    np.concatenate(src_parts)[order], graph.src)
+                assert np.array_equal(
+                    np.concatenate(dst_parts)[order], graph.dst)
+
+    def test_greedy_balances_better_than_hash_on_skew(self):
+        graph = synthetic_citation_graph(400, 5, feature_dim=4,
+                                         avg_degree=8.0, rng=3)
+
+        def spread(strategy):
+            owner = partition_nodes(graph, 4, strategy)
+            degrees = np.asarray(graph.degree())
+            loads = np.bincount(owner, weights=degrees, minlength=4)
+            return loads.max() - loads.min()
+
+        assert spread("greedy") <= spread("hash")
+
+    def test_partition_validation(self):
+        graph = synthetic_knowledge_graph(20, 2, 60, feature_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            partition_nodes(graph, 0)
+        with pytest.raises(ValueError):
+            partition_nodes(graph, 2, "metis")
+
+
+# ----------------------------------------------------------------------
+# Store query surface
+# ----------------------------------------------------------------------
+class TestShardedStoreSurface:
+
+    def test_neighbors_and_degree_match_monolithic(self):
+        for graph in random_graphs(4, base_seed=20):
+            adj = graph.undirected_adjacency
+            for K in SHARD_COUNTS:
+                store = ShardedGraphStore.from_graph(graph, K, "hash")
+                for node in range(graph.num_nodes):
+                    assert np.array_equal(store.neighbors(node),
+                                          adj.neighbors(node))
+                assert np.array_equal(store.degree(), adj.degree())
+                assert store.degree(3) == adj.degree(3)
+
+    def test_gather_neighbors_matches_monolithic(self):
+        rng = np.random.default_rng(5)
+        for graph in random_graphs(4, base_seed=30):
+            adj = graph.undirected_adjacency
+            store = ShardedGraphStore.from_graph(graph, 4, "greedy")
+            for size in (1, 7, 40):
+                frontier = rng.integers(0, graph.num_nodes, size=size)
+                assert np.array_equal(store.gather_neighbors(frontier),
+                                      adj.gather_neighbors(frontier))
+            assert store.gather_neighbors(
+                np.empty(0, dtype=np.int64)).size == 0
+
+    def test_directed_rows_and_features_match(self):
+        graph = synthetic_knowledge_graph(90, 4, 500, feature_dim=8, rng=7)
+        store = ShardedGraphStore.from_graph(graph, 3, "greedy")
+        view = store.view()
+        adj = graph.adjacency
+        for node in range(graph.num_nodes):
+            dsts, eids = view.adjacency.neighbor_edges(node)
+            ref_dsts, ref_eids = adj.neighbor_edges(node)
+            assert np.array_equal(dsts, ref_dsts)
+            assert np.array_equal(eids, ref_eids)
+        nodes = np.array([0, 5, 17, 2, 88])
+        assert np.array_equal(view.node_features[nodes],
+                              graph.node_features[nodes])
+        assert view.num_nodes == graph.num_nodes
+        assert view.num_edges == graph.num_edges
+        assert view.feature_dim == graph.feature_dim
+
+    def test_halo_counting(self):
+        graph = synthetic_knowledge_graph(80, 3, 400, feature_dim=4, rng=1)
+        store = ShardedGraphStore.from_graph(graph, 2, "hash")
+        # No home shard set: nothing counts as halo.
+        store.gather_neighbors(np.arange(graph.num_nodes))
+        assert store.halo_fetches == 0
+        store.home_shard = 0
+        store.gather_neighbors(np.arange(graph.num_nodes))
+        remote = int((store.owner != 0).sum())
+        assert store.halo_fetches == remote
+        store.reset_counters()
+        assert store.halo_fetches == 0
+
+
+# ----------------------------------------------------------------------
+# Sampling bit-identity
+# ----------------------------------------------------------------------
+class TestShardedSamplingBitIdentity:
+
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_bfs_and_walk_match_monolithic_engines(self, strategy):
+        graphs = random_graphs(10, base_seed=40)
+        assert len(graphs) * len(SHARD_COUNTS) >= 20
+        for gi, graph in enumerate(graphs):
+            views = {K: ShardedGraphStore.from_graph(graph, K,
+                                                     strategy).view()
+                     for K in SHARD_COUNTS}
+            for seed in range(3):
+                seeds = np.array([(7 * seed + gi) % graph.num_nodes])
+                for sampler, hops, cap in (
+                        (bfs_neighborhood, 2, 24),
+                        (random_walk_neighborhood, 3, 24)):
+                    for engine in ("vectorized", "legacy"):
+                        reference = sampler(
+                            graph, seeds, hops, cap,
+                            np.random.default_rng(seed), engine=engine)
+                        for K, view in views.items():
+                            out = sampler(
+                                view, seeds, hops, cap,
+                                np.random.default_rng(seed), engine=engine)
+                            assert np.array_equal(out, reference), (
+                                f"graph {gi} K={K} {strategy} "
+                                f"{sampler.__name__} {engine} seed {seed}")
+
+    def test_sampled_subgraph_identical(self):
+        graph = synthetic_knowledge_graph(100, 5, 600, feature_dim=8, rng=2)
+        view = ShardedGraphStore.from_graph(graph, 4, "greedy").view()
+        for seed in range(5):
+            datapoint = EdgeInput(seed * 3, seed * 7 + 1, relation=1)
+            expected = sample_data_graph(
+                graph, datapoint, num_hops=2, max_nodes=16,
+                rng=np.random.default_rng(seed))
+            actual = sample_data_graph(
+                view, datapoint, num_hops=2, max_nodes=16,
+                rng=np.random.default_rng(seed))
+            for field in ("nodes", "src", "dst", "rel", "node_features",
+                          "centers"):
+                assert np.array_equal(getattr(expected, field),
+                                      getattr(actual, field)), field
+            if expected.rel_features is None:
+                assert actual.rel_features is None
+            else:
+                assert np.array_equal(expected.rel_features,
+                                      actual.rel_features)
+
+
+# ----------------------------------------------------------------------
+# Scratch reentrancy
+# ----------------------------------------------------------------------
+class TestScratchCheckout:
+
+    def test_concurrent_borrowers_get_distinct_masks(self):
+        graph = synthetic_knowledge_graph(50, 3, 200, feature_dim=4, rng=0)
+        adj = graph.undirected_adjacency
+        first = adj.visited_scratch()
+        second = adj.visited_scratch()
+        assert first is not second
+        first[3] = True   # a dirty mask must not leak to the next borrower
+        first[3] = False
+        adj.release_scratch(first)
+        adj.release_scratch(second)
+        assert adj.visited_scratch() is second
+        assert adj.visited_scratch() is first
+
+    def test_interleaved_sampling_is_isolated(self):
+        # A sampler borrowing the scratch while another borrow is live
+        # must not corrupt the outer borrower's visited state.
+        graph = synthetic_knowledge_graph(60, 3, 300, feature_dim=4, rng=1)
+        adj = graph.undirected_adjacency
+        outer = adj.visited_scratch()
+        outer[:10] = True
+        result = bfs_neighborhood(graph, np.array([0]), 2, 16,
+                                  np.random.default_rng(0))
+        fresh = bfs_neighborhood(graph, np.array([0]), 2, 16,
+                                 np.random.default_rng(0))
+        assert np.array_equal(result, fresh)
+        assert outer[:10].all() and not outer[10:].any()
+        outer[:10] = False
+        adj.release_scratch(outer)
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+def _pool_context(base):
+    return {"base": base}
+
+
+def _square_task(context, task):
+    return context["base"] + task * task
+
+
+class TestWorkerPool:
+
+    def test_serial_map_preserves_order(self):
+        pool = WorkerPool(_pool_context, initargs=(100,), num_workers=1,
+                          backend="serial")
+        out = pool.map(_square_task, range(8))
+        assert [r for r, _ in out] == [100 + i * i for i in range(8)]
+        assert all(busy >= 0.0 for _, busy in out)
+        pool.close()
+
+    def test_process_map_matches_serial(self):
+        with WorkerPool(_pool_context, initargs=(7,), num_workers=2,
+                        backend="process") as pool:
+            out = pool.map(_square_task, range(16))
+        assert [r for r, _ in out] == [7 + i * i for i in range(16)]
+
+    def test_auto_backend_is_core_aware(self):
+        pool = WorkerPool(_pool_context, initargs=(0,), num_workers=4,
+                          backend="auto")
+        expected = "process" if usable_cores() > 1 else "serial"
+        assert pool.backend == expected
+        pool.close()
+        single = WorkerPool(_pool_context, initargs=(0,), num_workers=1,
+                            backend="auto")
+        assert single.backend == "serial"
+        single.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(_pool_context, num_workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(_pool_context, backend="thread")
+
+    def test_empty_map(self):
+        pool = WorkerPool(_pool_context, backend="serial")
+        assert pool.map(_square_task, []) == []
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# Serving integration
+# ----------------------------------------------------------------------
+def _serving_fixture():
+    config = GraphPrompterConfig(hidden_dim=12, max_subgraph_nodes=10)
+    graph = synthetic_knowledge_graph(150, 5, 900, feature_dim=10, rng=0)
+    dataset = Dataset(graph, EDGE_TASK, rng=0)
+    model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                               config)
+    episodes = [sample_episode(dataset, num_ways=3, num_queries=4,
+                               rng=50 + i) for i in range(3)]
+    return model, dataset, episodes
+
+
+def _run_workload(model, dataset, episodes, **server_kwargs):
+    server = PromptServer(model, dataset, max_batch_size=6, rng=0,
+                          **server_kwargs)
+    for i, episode in enumerate(episodes):
+        server.open_session(f"s{i}", episode)
+    for q in range(episodes[0].num_queries):
+        for i, episode in enumerate(episodes):
+            server.submit(f"s{i}", episode.queries[q])
+    results = server.drain()
+    stats = server.stats
+    server.close()
+    return results, stats
+
+
+class TestShardRouter:
+
+    def test_encode_points_matches_pipeline(self):
+        model, dataset, episodes = _serving_fixture()
+        pipeline = GraphPrompterPipeline(model, dataset, rng=0)
+        pipeline.generator.deterministic = True
+        datapoints = list(episodes[0].candidates) + list(episodes[0].queries)
+        expected_emb, expected_imp = pipeline.encode_points(datapoints)
+        for K in (2, 4):
+            router = ShardRouter(model, dataset.graph, num_shards=K,
+                                 num_workers=1, backend="serial")
+            emb, importance = router.encode_points(datapoints)
+            # Same subgraphs, same weights; only gemm batch shapes differ,
+            # so agreement is to float wobble, not necessarily bitwise.
+            np.testing.assert_allclose(emb, expected_emb,
+                                       rtol=0, atol=1e-12)
+            np.testing.assert_allclose(importance, expected_imp,
+                                       rtol=0, atol=1e-12)
+            ledgers = router.stats()
+            assert sum(c.requests for c in ledgers) == len(datapoints)
+            assert all(c.worker_busy_s >= 0.0 for c in ledgers)
+            router.close()
+
+
+class TestShardedPromptServer:
+
+    def test_sharded_results_match_monolithic(self):
+        model, dataset, episodes = _serving_fixture()
+        reference, ref_stats = _run_workload(model, dataset, episodes)
+        assert ref_stats.shards == ()
+        for kwargs in (
+                dict(num_shards=2, num_workers=2, worker_backend="serial"),
+                dict(num_shards=4, num_workers=1),
+                dict(num_shards=2, num_workers=2, shard_strategy="hash",
+                     worker_backend="serial")):
+            results, stats = _run_workload(model, dataset, episodes,
+                                           **kwargs)
+            assert [(r.session_id, r.prediction) for r in results] == \
+                [(r.session_id, r.prediction) for r in reference]
+            np.testing.assert_allclose(
+                [r.confidence for r in results],
+                [r.confidence for r in reference], rtol=0, atol=1e-9)
+            assert len(stats.shards) == kwargs["num_shards"]
+            total = sum(c.requests for c in stats.shards)
+            pool_points = sum(len(e.candidates) for e in episodes)
+            query_points = sum(e.num_queries for e in episodes)
+            assert total == pool_points + query_points
+            assert sum(c.worker_busy_s for c in stats.shards) > 0.0
+            assert stats.halo_fetches >= 0
+
+    def test_process_backend_matches_serial(self):
+        model, dataset, episodes = _serving_fixture()
+        serial, _ = _run_workload(model, dataset, episodes, num_shards=2,
+                                  num_workers=2, worker_backend="serial")
+        process, _ = _run_workload(model, dataset, episodes, num_shards=2,
+                                   num_workers=2, worker_backend="process")
+        assert [(r.session_id, r.prediction, r.confidence)
+                for r in process] == \
+            [(r.session_id, r.prediction, r.confidence) for r in serial]
+
+    def test_config_defaults_feed_server(self):
+        model, dataset, episodes = _serving_fixture()
+        sharded_config = model.config.ablate(num_shards=2, num_workers=1)
+        sharded_model = GraphPrompterModel(dataset.graph.feature_dim,
+                                           dataset.graph.num_relations,
+                                           sharded_config)
+        sharded_model.load_state_dict(model.state_dict())
+        server = PromptServer(sharded_model, dataset, rng=0)
+        assert server.router is not None
+        assert server.router.num_shards == 2
+        server.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GraphPrompterConfig(num_shards=0).validate()
+        with pytest.raises(ValueError):
+            GraphPrompterConfig(num_workers=0).validate()
+        with pytest.raises(ValueError):
+            GraphPrompterConfig(shard_strategy="metis").validate()
+        with pytest.raises(ValueError):
+            GraphPrompterConfig(worker_backend="thread").validate()
