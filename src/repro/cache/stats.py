@@ -11,6 +11,11 @@ cache behaviour without knowing which policy is installed:
 
 ``clear()`` resets the counters together with the contents, so one episode's
 statistics never leak into the next evaluation run.
+
+``stale_evictions`` is owned by a layer above the policies: the Prompt
+Augmenter counts entries it dropped because the *source graph mutated*
+(cache-epoch invalidation, not capacity pressure) and merges the counter
+into its snapshot; the raw policies always report 0.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ class CacheStats:
     misses: int
     insertions: int
     evictions: int
+    stale_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:

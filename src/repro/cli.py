@@ -25,6 +25,7 @@ from .experiments import (
     ablation_knn_metric,
     ablation_recon_scorer,
     serve_bench,
+    serve_bench_mutating,
     serve_bench_sharded,
     fig3_ablation,
     fig4_gnn_architectures,
@@ -63,6 +64,8 @@ EXPERIMENTS = {
     "serve-bench": (serve_bench, "online serving micro-batch throughput"),
     "serve-bench-sharded": (serve_bench_sharded,
                             "sharded/parallel serving equivalence + QPS"),
+    "serve-bench-mutating": (serve_bench_mutating,
+                             "live-mutation serving + cold-rebuild equality"),
 }
 
 

@@ -87,6 +87,17 @@ class GraphPrompterConfig:
         has more than one usable core, else serial), ``"process"``
         (force a pool), or ``"serial"`` (deterministic in-process
         fallback).
+    mutable_graph:
+        Enable the serving layer's live-update path
+        (:meth:`~repro.serving.PromptServer.update_graph`): online
+        edge/node mutations flow through
+        :class:`~repro.graph.DeltaAdjacency` overlays and stale session
+        caches are invalidated by graph-version epoch instead of serving
+        pre-mutation prompts.
+    compact_threshold:
+        Overlay fraction (tombstoned + delta slots relative to live
+        slots) above which a mutated graph folds its overlays back into
+        clean CSR bases.  Only consulted when ``mutable_graph`` is on.
     """
 
     hidden_dim: int = 32
@@ -112,6 +123,8 @@ class GraphPrompterConfig:
     num_workers: int = 1
     shard_strategy: str = "greedy"
     worker_backend: str = "auto"
+    mutable_graph: bool = False
+    compact_threshold: float = 0.25
     seed: int = 0
 
     def validate(self) -> "GraphPrompterConfig":
@@ -144,6 +157,8 @@ class GraphPrompterConfig:
             raise ValueError(f"unknown shard strategy {self.shard_strategy!r}")
         if self.worker_backend not in ("auto", "serial", "process"):
             raise ValueError(f"unknown worker backend {self.worker_backend!r}")
+        if self.compact_threshold <= 0:
+            raise ValueError("compact_threshold must be positive")
         return self
 
     def ablate(self, **flags) -> "GraphPrompterConfig":

@@ -132,32 +132,39 @@ class GraphPrompterPipeline:
             importance = self.model.importance(emb_t).data
         return emb_t.data, importance
 
-    def encode_candidate_pool(self, episode: Episode, shots: int
-                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Embeddings/importance/labels of the episode's prompt pool.
+    def select_candidate_pool(self, episode: Episode, shots: int
+                              ) -> tuple[list, np.ndarray]:
+        """The datapoints (and labels) the prediction step works against.
 
-        Returns the pool the per-batch prediction step works against:
-        the *full* candidate set under adaptive selection, or Prodigy's
+        The *full* candidate set under adaptive selection, or Prodigy's
         random k-shot choice when every selection stage is disabled.
+        Note the Prodigy branch draws from the pipeline RNG — callers that
+        need both the datapoints and their encodings (the serving layer's
+        session open/revalidate path) must reuse one selection rather
+        than calling twice.
         """
         config = self.config
         if config.use_knn or config.use_selection_layers:
             # GraphPrompter pays for encoding the full candidate pool —
             # the selector needs every embedding (Eqs. 5–8).
-            candidate_pool = episode.candidates
-            pool_labels = episode.candidate_labels
-        else:
-            # Prodigy only ever encodes its random k-shot choice
-            # (Sec. V-A3), so its per-query cost excludes the pool.
-            selected = self.selector.select(
-                np.zeros((len(episode.candidates), 0)),
-                np.zeros(len(episode.candidates)),
-                np.zeros((1, 0)), np.zeros(1),
-                episode.candidate_labels, shots)
-            candidate_pool = [episode.candidates[i] for i in selected]
-            pool_labels = episode.candidate_labels[selected]
+            return list(episode.candidates), episode.candidate_labels
+        # Prodigy only ever encodes its random k-shot choice
+        # (Sec. V-A3), so its per-query cost excludes the pool.
+        selected = self.selector.select(
+            np.zeros((len(episode.candidates), 0)),
+            np.zeros(len(episode.candidates)),
+            np.zeros((1, 0)), np.zeros(1),
+            episode.candidate_labels, shots)
+        return ([episode.candidates[i] for i in selected],
+                episode.candidate_labels[selected])
+
+    def encode_candidate_pool(self, episode: Episode, shots: int
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Embeddings/importance/labels of the episode's prompt pool."""
+        candidate_pool, pool_labels = self.select_candidate_pool(episode,
+                                                                 shots)
         candidate_emb, candidate_importance = \
-            self.encode_points(list(candidate_pool))
+            self.encode_points(candidate_pool)
         return candidate_emb, candidate_importance, pool_labels
 
     def predict_batch(self, candidate_emb: np.ndarray,

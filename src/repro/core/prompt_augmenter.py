@@ -12,7 +12,7 @@ max-confidence insertion policy with uniform random query selection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -41,6 +41,7 @@ class PromptAugmenter:
         self.cache = make_cache(config.cache_policy, config.cache_size)
         self.rng = np.random.default_rng(rng)
         self._next_key = 0
+        self._stale_evictions = 0
 
     def __len__(self) -> int:
         return len(self.cache)
@@ -106,11 +107,29 @@ class PromptAugmenter:
             inserted += 1
         return inserted
 
+    def invalidate(self) -> int:
+        """Drop every entry because the source graph mutated.
+
+        Cached prompts are embeddings of subgraphs sampled from a graph
+        state that no longer exists — serving them would answer with
+        pre-mutation structure.  The drop count accumulates in
+        ``stale_evictions`` (it survives the underlying cache's counter
+        reset).  Returns the number of entries dropped.
+        """
+        dropped = len(self.cache)
+        if dropped:
+            self.cache.clear()
+        self._stale_evictions += dropped
+        return dropped
+
     def stats(self) -> CacheStats:
-        """Usage counters of the underlying cache (any policy)."""
-        return self.cache.stats()
+        """Usage counters of the underlying cache (any policy),
+        plus the Augmenter-level ``stale_evictions`` epoch counter."""
+        return replace(self.cache.stats(),
+                       stale_evictions=self._stale_evictions)
 
     def reset(self) -> None:
         """Empty the cache and its counters (between evaluation runs)."""
         self.cache.clear()
         self._next_key = 0
+        self._stale_evictions = 0

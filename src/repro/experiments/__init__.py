@@ -17,7 +17,7 @@ from .figures import (
     fig9_training_curves,
 )
 from .grids import accuracy_grid
-from .serving import serve_bench, serve_bench_sharded
+from .serving import serve_bench, serve_bench_mutating, serve_bench_sharded
 from .tables import (
     table2_dataset_statistics,
     table3_arxiv,
@@ -38,6 +38,7 @@ __all__ = [
     "ablation_recon_scorer",
     "accuracy_grid",
     "serve_bench",
+    "serve_bench_mutating",
     "serve_bench_sharded",
     "table2_dataset_statistics",
     "table3_arxiv",

@@ -14,6 +14,17 @@ vs. per-query serving, p50/p95 micro-batch service latency, and whether
 predictions stayed identical to the per-query run (they must — batching is
 a pure throughput optimization).
 
+``serve-bench-mutating`` interleaves live graph updates
+(:meth:`PromptServer.update_graph`) with query rounds: edges are added and
+removed — and nodes appended — between drains, flowing through the
+delta-overlay write path (:mod:`repro.graph.delta`) with cache-epoch
+session invalidation.  After the last round the whole post-mutation
+workload is replayed on **fresh sessions of both the mutated server and a
+cold server rebuilt from scratch** over the final live edge list; any
+prediction mismatch raises (the CI mutation-smoke gate) — overlay reads,
+shard routing, and epoch invalidation must be indistinguishable from a
+rebuild.
+
 ``serve-bench-sharded`` replays one fixed workload through the horizontal
 scale-out path (:mod:`repro.shard`): unsharded, then K-shard/N-worker
 configurations.  Predictions must be *exactly equal* across every
@@ -32,10 +43,13 @@ import time
 import numpy as np
 
 from ..core import GraphPrompterModel, sample_episode
+from ..datasets.base import Dataset
+from ..graph import GraphUpdate
 from ..serving import PromptServer
 from .common import ExperimentContext, TableResult, default_config
 
-__all__ = ["replay_workload", "serve_bench", "serve_bench_sharded"]
+__all__ = ["replay_workload", "serve_bench", "serve_bench_sharded",
+           "serve_bench_mutating", "random_graph_update"]
 
 
 def replay_workload(server: PromptServer, episodes) -> tuple[list, float]:
@@ -111,6 +125,138 @@ def serve_bench(context: ExperimentContext,
     return TableResult(
         title=(f"serve-bench: {num_sessions} sessions × "
                f"{queries_per_session} queries, {num_ways}-way {target}"),
+        headers=headers, rows=rows, data=data)
+
+
+def random_graph_update(graph, rng: np.random.Generator,
+                        num_add: int, num_remove: int,
+                        num_new_nodes: int = 0) -> GraphUpdate:
+    """A seeded mutation batch over ``graph``'s current live state.
+
+    Added edges draw uniform endpoints (including any nodes added by the
+    same update); removals draw uniformly from the live edge ids.  Shared
+    by the mutating serve bench, the perf harness's mutate profile, and
+    the differential test suite.
+    """
+    total_nodes = graph.num_nodes + num_new_nodes
+    _, _, _, live_ids = graph.live_edges()
+    num_remove = min(num_remove, live_ids.size)
+    features = None
+    if num_new_nodes:
+        features = rng.normal(size=(num_new_nodes, graph.feature_dim))
+    return GraphUpdate(
+        add_src=rng.integers(0, total_nodes, size=num_add),
+        add_dst=rng.integers(0, total_nodes, size=num_add),
+        add_rel=rng.integers(0, graph.num_relations, size=num_add),
+        remove_edges=rng.choice(live_ids, size=num_remove, replace=False),
+        add_node_features=features,
+    )
+
+
+def serve_bench_mutating(context: ExperimentContext,
+                         source: str = "wiki", target: str = "nell",
+                         num_ways: int = 5, seed: int = 0) -> TableResult:
+    """Live-mutation serving: interleaved updates + cold-rebuild equality.
+
+    Raises ``RuntimeError`` when the mutated server's post-mutation
+    predictions differ from a server cold-rebuilt over the final live
+    edge list — the property the CI mutation-smoke job asserts.
+    """
+    config = default_config(mutable_graph=True)
+    state = context.pretrained_state(source)
+    base = context.dataset(target)
+    # Private graph copy: the context's dataset cache is shared across
+    # experiments and must never observe this bench's mutations.
+    dataset = Dataset(base.graph.rebuild(), base.task,
+                      name=f"{base.name}-mutating", rng=seed)
+    graph = dataset.graph
+    num_sessions = 3 if context.fast else 6
+    queries_per_session = 6 if context.fast else 18
+    num_rounds = 3
+    per_round = queries_per_session // num_rounds
+    grow = max(graph.num_live_edges // (20 if context.fast else 40), 8)
+
+    model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                               config)
+    model.load_state_dict(state)
+
+    episodes = [
+        sample_episode(dataset, num_ways=num_ways,
+                       num_queries=queries_per_session,
+                       rng=seed * 1000 + i)
+        for i in range(num_sessions)
+    ]
+
+    server = PromptServer(model, dataset, max_batch_size=8, rng=seed)
+    for i, episode in enumerate(episodes):
+        server.open_session(f"session-{i}", episode)
+
+    update_rng = np.random.default_rng(seed + 77)
+    headers = ["Round", "Queries/s", "+Edges", "-Edges", "+Nodes",
+               "Stale sessions", "Overlay %"]
+    rows = []
+    data = {"rounds": [], "identical": None}
+    mut_rng = np.random.default_rng(update_rng.integers(2**32))
+    for round_id in range(num_rounds):
+        start = time.perf_counter()
+        for q in range(round_id * per_round, (round_id + 1) * per_round):
+            for i, episode in enumerate(episodes):
+                server.submit(f"session-{i}", episode.queries[q])
+        results = server.drain()
+        elapsed = time.perf_counter() - start
+        qps = len(results) / elapsed
+
+        # Mutate between rounds (the last round leaves the graph as the
+        # equality check below will see it).
+        update = random_graph_update(
+            graph, mut_rng, num_add=grow, num_remove=grow // 2,
+            num_new_nodes=2 if round_id == 1 else 0)
+        invalidated_before = server.stats.sessions_invalidated
+        server.update_graph(update)
+        stale = server.stats.sessions_invalidated - invalidated_before
+        overlay_pct = 100.0 * graph.overlay_fraction
+        rows.append([round_id, f"{qps:.1f}", grow, grow // 2,
+                     2 if round_id == 1 else 0, stale,
+                     f"{overlay_pct:.1f}"])
+        data["rounds"].append({
+            "round": round_id, "qps": qps, "added": grow,
+            "removed": grow // 2, "stale_sessions": stale,
+            "overlay_fraction": graph.overlay_fraction,
+        })
+
+    # ------------------------------------------------------------------
+    # Equality gate: fresh sessions on the mutated server vs. a server
+    # cold-rebuilt from the final live edge list must predict identically.
+    # ------------------------------------------------------------------
+    cold_dataset = Dataset(graph.rebuild(), base.task,
+                           name=f"{base.name}-cold", rng=seed)
+    cold = PromptServer(model, cold_dataset, max_batch_size=8, rng=seed)
+    predictions = {}
+    for tag, srv in (("mutated", server), ("cold", cold)):
+        for i, episode in enumerate(episodes):
+            srv.open_session(f"check-{i}", episode)
+        start = time.perf_counter()
+        for q in range(queries_per_session):
+            for i, episode in enumerate(episodes):
+                srv.submit(f"check-{i}", episode.queries[q])
+        results = srv.drain()
+        predictions[tag] = [(r.session_id, r.prediction) for r in results]
+        data[f"{tag}_qps"] = len(results) / (time.perf_counter() - start)
+    identical = predictions["mutated"] == predictions["cold"]
+    data["identical"] = identical
+    data["stale_evictions"] = server.stats.stale_evictions
+    data["graph_version"] = server.stats.graph_version
+    if not identical:
+        raise RuntimeError(
+            "mutating serving diverged from the cold rebuild — delta "
+            "overlay, shard routing, or epoch invalidation served stale "
+            "graph state")
+    rows.append(["check", f"{data['mutated_qps']:.1f}", "-", "-", "-",
+                 "-", "identical: yes"])
+    return TableResult(
+        title=(f"serve-bench-mutating: {num_sessions} sessions × "
+               f"{queries_per_session} queries, {num_ways}-way {target}, "
+               f"{num_rounds} update rounds"),
         headers=headers, rows=rows, data=data)
 
 

@@ -93,7 +93,7 @@ def to_networkx(graph: Graph) -> "nx.MultiDiGraph":
         if graph.node_labels is not None:
             attrs["label"] = int(graph.node_labels[i])
         out.add_node(i, **attrs)
-    for e in range(graph.num_edges):
-        out.add_edge(int(graph.src[e]), int(graph.dst[e]),
-                     relation=int(graph.rel[e]))
+    src, dst, rel, _ = graph.live_edges()
+    for u, v, r in zip(src.tolist(), dst.tolist(), rel.tolist()):
+        out.add_edge(u, v, relation=r)
     return out

@@ -29,6 +29,17 @@ The ``shard`` profile benchmarks the horizontal-scale subsystem instead
   ratio tracks the halo-resolution overhead);
 * ``shard_parallel_qps`` — sharded serve QPS, single worker vs. the
   process pool.
+
+The ``mutate`` profile benchmarks the live-update subsystem
+(``repro bench --profile mutate``):
+
+* ``mutation_apply`` — absorbing an add+remove batch through the
+  :class:`~repro.graph.DeltaAdjacency` overlay vs. rebuilding the
+  undirected CSR from scratch (what a frozen-graph system pays per
+  update batch);
+* ``mutation_sampling_overlay`` — sampling on a clean CSR vs. the same
+  graph carrying a ~10% overlay (the read-path cost compaction bounds);
+* ``mutation_compact`` — compaction wall-clock and edge throughput.
 """
 
 from __future__ import annotations
@@ -103,6 +114,15 @@ PROFILES = {
                   shard_k=2, serve_sessions=6, serve_queries=12,
                   serve_batch=32, serve_workers=2,
                   num_ways=5, min_runtime_s=0.05),
+    # Live-update subsystem (runs the mutation benchmarks only).  The
+    # apply benchmark cycles one batch of adds followed by the matching
+    # removes, so the live edge set — and therefore the work per timed
+    # call — stays fixed while the id space grows realistically.
+    "mutate": dict(sample_nodes=4000, sample_edges=400_000,
+                   sample_calls=24, bfs_hops=2, bfs_cap=256,
+                   rw_hops=3, rw_cap=1024,
+                   mutate_batch=512, overlay_fraction=0.10,
+                   min_runtime_s=0.05),
 }
 
 
@@ -367,6 +387,103 @@ def _shard_benchmarks(p: dict) -> dict:
     return out
 
 
+def _mutation_benchmarks(p: dict) -> dict:
+    """Overlay apply throughput, overlay read overhead, compaction."""
+    from ..graph import CSRAdjacency
+
+    out: dict = {}
+    batch = p["mutate_batch"]
+
+    # Apply: absorb (add K, remove the same K) through the overlay vs.
+    # rebuilding the undirected CSR from the live list — the per-batch
+    # cost a frozen-graph serving system pays for the same freshness.
+    graph = _dense_sampling_graph(p)
+    graph.adjacency
+    graph.undirected_adjacency  # promote-and-build outside the timed region
+    rng_np = np.random.default_rng(5)
+    add_src = rng_np.integers(0, graph.num_nodes, size=batch)
+    add_dst = rng_np.integers(0, graph.num_nodes, size=batch)
+
+    def overlay_cycle():
+        eids = graph.add_edges(add_src, add_dst)
+        graph.remove_edges(eids)
+
+    overlay_cycle()  # first cycle pays overlay promotion; warm it up
+
+    def rebuild_cycle():
+        src, dst, _, _ = graph.live_edges()
+        CSRAdjacency(graph.num_nodes,
+                     np.concatenate([src, dst]),
+                     np.concatenate([dst, src]))
+
+    rebuild = time_callable(rebuild_cycle, min_runtime_s=p["min_runtime_s"],
+                            repeats=3)
+    overlay = time_callable(overlay_cycle, min_runtime_s=p["min_runtime_s"],
+                            repeats=3)
+    result = _pair(rebuild.per_call_s, overlay.per_call_s,
+                   "rebuild_s", "overlay_s")
+    result["batch_edges"] = 2 * batch  # adds + removes per cycle
+    result["apply_edges_per_sec"] = (2 * batch / overlay.per_call_s
+                                   if overlay.per_call_s > 0 else float("inf"))
+    out["mutation_apply"] = result
+
+    # Read overhead: sampling over a clean CSR vs. the same graph carrying
+    # an uncompacted overlay at the configured fraction (bit-identical
+    # outputs — the differential suite asserts it; this pins the cost).
+    clean = _dense_sampling_graph(p)
+    clean.undirected_adjacency
+    dirty = clean.rebuild()
+    # Build the CSR *before* mutating: only then do the writes land in a
+    # live overlay.  (Mutating first would let the lazy build fold them
+    # into a clean base and this benchmark would sample zero overlay.)
+    dirty.undirected_adjacency
+    overlay_edges = int(dirty.num_live_edges * p["overlay_fraction"] / 2)
+    rng_np = np.random.default_rng(6)
+    dirty.add_edges(rng_np.integers(0, dirty.num_nodes, size=overlay_edges),
+                    rng_np.integers(0, dirty.num_nodes, size=overlay_edges))
+    dirty.remove_edges(rng_np.choice(clean.num_edges, size=overlay_edges,
+                                     replace=False))
+    assert dirty.overlay_fraction > 0, "benchmark must sample a live overlay"
+    seeds = np.random.default_rng(1).integers(0, clean.num_nodes,
+                                              size=p["sample_calls"])
+
+    def run(graph, sampler, hops, cap):
+        rng = np.random.default_rng(0)
+
+        def call():
+            for seed in seeds:
+                sampler(graph, np.array([seed]), hops, cap, rng)
+        return call
+
+    for name, sampler, hops, cap in (
+            ("mutation_sampling_bfs", bfs_neighborhood,
+             p["bfs_hops"], p["bfs_cap"]),
+            ("mutation_sampling_random_walk", random_walk_neighborhood,
+             p["rw_hops"], p["rw_cap"])):
+        clean_t = time_callable(run(clean, sampler, hops, cap),
+                                min_runtime_s=p["min_runtime_s"], repeats=5)
+        dirty_t = time_callable(run(dirty, sampler, hops, cap),
+                                min_runtime_s=p["min_runtime_s"], repeats=5)
+        # speedup < 1 is expected: the ratio tracks the overlay read
+        # overhead compaction exists to bound.
+        out[name] = _pair(clean_t.per_call_s, dirty_t.per_call_s,
+                          "clean_s", "overlay_s")
+        out[name]["overlay_fraction"] = dirty.overlay_fraction
+
+    # Compaction: fold the overlay back into clean bases.  Repeatable —
+    # compacting an already-clean mutated graph still rebuilds both
+    # adjacency views from the live list, which is exactly the work.
+    compact = time_callable(dirty.compact, min_runtime_s=p["min_runtime_s"],
+                            repeats=3)
+    out["mutation_compact"] = {
+        "compact_s": compact.per_call_s,
+        "edges_per_sec": (dirty.num_live_edges / compact.per_call_s
+                        if compact.per_call_s > 0 else float("inf")),
+        "live_edges": dirty.num_live_edges,
+    }
+    return out
+
+
 def run_benchmarks(profile: str = "full") -> dict:
     """Run every hot-path benchmark; returns the JSON-ready result dict."""
     if profile not in PROFILES:
@@ -376,6 +493,8 @@ def run_benchmarks(profile: str = "full") -> dict:
     benchmarks: dict = {}
     if profile == "shard":
         benchmarks.update(_shard_benchmarks(p))
+    elif profile == "mutate":
+        benchmarks.update(_mutation_benchmarks(p))
     else:
         graph = _benchmark_graph(p)
         benchmarks.update(_sampling_benchmarks(p))

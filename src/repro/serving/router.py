@@ -96,11 +96,31 @@ class ShardRouter:
                                                   strategy)
         self.counters = [ShardCounters(shard_id=k)
                          for k in range(num_shards)]
-        self.pool = WorkerPool(
-            _build_worker_context,
-            initargs=(self.store, config, graph.feature_dim,
-                      graph.num_relations, model.state_dict()),
-            num_workers=num_workers, backend=backend)
+        self._num_workers = num_workers
+        self._requested_backend = backend
+        self._initargs = (self.store, config, graph.feature_dim,
+                          graph.num_relations, model.state_dict())
+        self.pool = WorkerPool(_build_worker_context,
+                               initargs=self._initargs,
+                               num_workers=num_workers, backend=backend)
+
+    def apply_updates(self, applied) -> None:
+        """Propagate one applied graph mutation through the shard layer.
+
+        The store is updated in place (touched shards rebuilt, ghost
+        tables refreshed).  The serial backend's worker context reads that
+        same store object, so it needs nothing further — but **process**
+        workers were initialized from a pickled snapshot of the
+        pre-mutation store, so the pool is respawned: the initializer
+        re-pickles the now-updated store into each fresh worker.
+        """
+        self.store.apply_updates(applied)
+        if self.pool is not None and self.pool.backend == "process":
+            self.pool.close()
+            self.pool = WorkerPool(_build_worker_context,
+                                   initargs=self._initargs,
+                                   num_workers=self._num_workers,
+                                   backend=self._requested_backend)
 
     @property
     def backend(self) -> str:

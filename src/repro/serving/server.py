@@ -43,6 +43,7 @@ from ..core.model import GraphPrompterModel
 from ..core.prompt_augmenter import PromptAugmenter
 from ..datasets.base import Dataset
 from ..graph.datapoints import Datapoint
+from ..graph.delta import AppliedUpdate, GraphUpdate
 from ..shard import ShardCounters
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
@@ -91,6 +92,14 @@ class ServerStats:
     sessions_evicted: int = 0
     sessions_expired: int = 0
     shards: tuple[ShardCounters, ...] = ()
+    #: Live-update ledger: current graph epoch, update batches applied,
+    #: sessions marked stale by an update, and cache entries the live
+    #: sessions' Augmenters dropped as graph-stale (capacity evictions
+    #: are counted separately, per session).
+    graph_version: int = 0
+    graph_updates: int = 0
+    sessions_invalidated: int = 0
+    stale_evictions: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -150,6 +159,13 @@ class PromptServer:
                                              clock=clock)
         self.sessions = SessionStore(capacity=session_capacity,
                                      ttl_seconds=session_ttl_s, clock=clock)
+        # Live-update path: dependency tracking + epoch invalidation are
+        # paid only when the config opts in.
+        self._mutable = self.config.mutable_graph
+        if self._mutable:
+            dataset.graph.compact_threshold = self.config.compact_threshold
+        self._graph_updates = 0
+        self._sessions_invalidated = 0
         self._queries = 0
         self._batches = 0
         self._encoded_subgraphs = 0
@@ -169,7 +185,13 @@ class PromptServer:
             sessions_opened=self._sessions_opened,
             sessions_evicted=self.sessions.evicted_total,
             sessions_expired=self.sessions.expired_total,
-            shards=self.router.stats() if self.router is not None else ())
+            shards=self.router.stats() if self.router is not None else (),
+            graph_version=self.dataset.graph.version,
+            graph_updates=self._graph_updates,
+            sessions_invalidated=self._sessions_invalidated,
+            stale_evictions=sum(
+                state.augmenter.stats().stale_evictions
+                for state in self.sessions.states()))
 
     def close(self) -> None:
         """Release the worker pool (no-op for the monolithic path)."""
@@ -188,15 +210,20 @@ class PromptServer:
     def open_session(self, session_id: str, episode: Episode,
                      shots: int = 3) -> SessionState:
         """Bind ``session_id`` to an episode; encodes its pool once."""
-        candidate_emb, candidate_importance, pool_labels = \
-            self.pipeline.encode_candidate_pool(episode, shots)
+        pool, pool_labels = self.pipeline.select_candidate_pool(episode,
+                                                                shots)
+        candidate_emb, candidate_importance = \
+            self.pipeline.encode_points(pool)
         augmenter = PromptAugmenter(
             self.config, rng=np.random.default_rng(self.rng.integers(2**32)))
         state = SessionState(
             session_id=session_id, num_ways=episode.num_ways, shots=shots,
             candidate_emb=candidate_emb,
             candidate_importance=candidate_importance,
-            pool_labels=pool_labels, augmenter=augmenter)
+            pool_labels=pool_labels, augmenter=augmenter,
+            episode=episode,
+            graph_version=self.dataset.graph.version,
+            dependent_nodes=self._dependencies(pool))
         self.sessions.put(state)
         self._sessions_opened += 1
         return state
@@ -204,6 +231,71 @@ class PromptServer:
     def close_session(self, session_id: str) -> SessionState | None:
         """Drop a session's cache and ledger; returns the final state."""
         return self.sessions.close(session_id)
+
+    # ------------------------------------------------------------------
+    # Live graph updates (cache-epoch invalidation)
+    # ------------------------------------------------------------------
+    def _dependencies(self, datapoints: list) -> set:
+        """Every node the datapoints' sampled subgraphs visit.
+
+        Sampling is deterministic per datapoint, so re-running the (cheap)
+        sampler reproduces exactly the node sets the encoder consumed —
+        and a mutation that touches none of them cannot change any of the
+        session's subgraphs, which is what makes dependency-scoped
+        invalidation sound.  Empty (free) when the graph is immutable.
+
+        This does sample each datapoint a second time (the first is
+        inside the encode pass) rather than threading node sets out of
+        the encoder: the sharded path samples inside worker processes,
+        so host-side reuse would need subgraphs shipped back across the
+        pool — a far bigger cost than re-running numpy gathers next to
+        a GNN forward.
+        """
+        if not self._mutable:
+            return set()
+        generator = self.pipeline.generator
+        dependencies: set[int] = set()
+        for datapoint in datapoints:
+            dependencies.update(
+                generator.subgraph_for(datapoint).nodes.tolist())
+        return dependencies
+
+    def update_graph(self, update: GraphUpdate) -> AppliedUpdate:
+        """Apply one live mutation batch and invalidate what it touched.
+
+        The graph (and, when sharded, the owner shards and worker pool)
+        absorbs the update in place; sessions whose sampled subgraphs
+        intersect the touched nodes are marked stale and refreshed —
+        candidate pool re-encoded, Augmenter cache purged — before their
+        next prediction.  Sessions outside the touched region keep their
+        caches: their subgraphs provably cannot have changed.
+        """
+        if not self._mutable:
+            raise RuntimeError(
+                "live graph updates require mutable_graph=True in the "
+                "model config")
+        applied = self.dataset.graph.apply_updates(update)
+        if self.router is not None:
+            self.router.apply_updates(applied)
+        touched = set(applied.touched_nodes.tolist())
+        for state in self.sessions.states():
+            if not state.stale and state.dependent_nodes & touched:
+                state.stale = True
+                self._sessions_invalidated += 1
+        self._graph_updates += 1
+        return applied
+
+    def _refresh_session(self, session: SessionState) -> None:
+        """Re-anchor a stale session to the current graph epoch."""
+        pool, pool_labels = self.pipeline.select_candidate_pool(
+            session.episode, session.shots)
+        session.candidate_emb, session.candidate_importance = \
+            self.pipeline.encode_points(pool)
+        session.pool_labels = pool_labels
+        session.augmenter.invalidate()
+        session.dependent_nodes = self._dependencies(pool)
+        session.graph_version = self.dataset.graph.version
+        session.stale = False
 
     # ------------------------------------------------------------------
     # Request path
@@ -261,6 +353,12 @@ class PromptServer:
                     prediction=-1, confidence=0.0, batch_size=len(batch),
                     wait_s=wait_s, service_s=0.0, error="session-expired"))
                 continue
+            if session.stale:
+                # The graph mutated inside this session's sampled region:
+                # re-encode its pool and drop its pseudo-label cache
+                # before answering, so no pre-mutation subgraph survives
+                # into this prediction.
+                self._refresh_session(session)
             # Prediction stays per-query and in arrival order, so each
             # session's Augmenter cache evolves exactly as it would under
             # per-query serving — batching never changes answers.
@@ -269,6 +367,12 @@ class PromptServer:
                 session.pool_labels, emb[i:i + 1], importance[i:i + 1],
                 session.num_ways, session.shots,
                 augmenter=session.augmenter)
+            if self._mutable:
+                # The query's embedding now lives in the session (as a
+                # potential cached prompt and as hit history), so future
+                # correctness depends on its subgraph's nodes too.
+                session.dependent_nodes.update(
+                    self._dependencies([request.datapoint]))
             service_s = max(self.clock() - start, 0.0)
             session.stats.record(wait_s, service_s, inserted, self.clock())
             results.append(ServeResult(

@@ -51,7 +51,19 @@ class SessionStats:
 
 @dataclass
 class SessionState:
-    """Everything one session's queries need at prediction time."""
+    """Everything one session's queries need at prediction time.
+
+    The last four fields are the live-update (cache-epoch) plumbing:
+    ``graph_version`` records the graph epoch the cached pool encodings
+    were computed under, ``dependent_nodes`` the union of every node the
+    session's sampled subgraphs visited (pool and queries).  A mutation
+    whose touched nodes intersect ``dependent_nodes`` marks the session
+    ``stale``; the server re-encodes its pool — from ``episode``, kept
+    for exactly this — and purges its Augmenter cache before the next
+    prediction, so a mutated session never answers from pre-mutation
+    subgraphs while untouched sessions keep their caches (and hit-rates)
+    intact.
+    """
 
     session_id: str
     num_ways: int
@@ -61,6 +73,10 @@ class SessionState:
     pool_labels: np.ndarray
     augmenter: PromptAugmenter
     stats: SessionStats = field(default_factory=SessionStats)
+    episode: object | None = None
+    graph_version: int = 0
+    dependent_nodes: set = field(default_factory=set)
+    stale: bool = False
 
     def cache_stats(self) -> CacheStats:
         """Counter snapshot of this session's Augmenter cache."""
@@ -98,6 +114,11 @@ class SessionStore:
     def ids(self) -> list[str]:
         """Live session ids, least recently used first."""
         return list(self._sessions)
+
+    def states(self) -> list[SessionState]:
+        """Live session states (no recency touch) — for bulk sweeps like
+        graph-mutation invalidation, which must not reorder eviction."""
+        return list(self._sessions.values())
 
     def put(self, state: SessionState) -> list[str]:
         """Register a session; returns ids evicted to make room."""

@@ -42,6 +42,7 @@ __all__ = [
     "PARTITION_STRATEGIES",
     "GraphShard",
     "ShardPlan",
+    "ShardBuildContext",
     "partition_nodes",
     "partition_graph",
 ]
@@ -137,44 +138,67 @@ class ShardPlan:
         return self.shards[int(self.owner[node])]
 
 
-def partition_graph(graph: Graph, num_shards: int,
-                    strategy: str = "greedy") -> ShardPlan:
-    """Split ``graph`` into ``num_shards`` shards (see module docstring)."""
-    owner = partition_nodes(graph, num_shards, strategy)
+class ShardBuildContext:
+    """Live-edge arrays one K-way (re)build shares across its shards.
 
-    # Doubled (symmetrised) edge list in the exact order the monolithic
-    # undirected CSR is built from — filtering it per shard preserves the
-    # within-row destination order bit-for-bit.
-    both_src = np.concatenate([graph.src, graph.dst])
-    both_dst = np.concatenate([graph.dst, graph.src])
-    slot_owner = owner[both_src]
+    Built from the graph's **live** edge list (``Graph.live_edges`` —
+    identical to ``src``/``dst`` on an unmutated graph), so the same
+    per-shard builder serves both the initial partition and
+    :meth:`~repro.shard.store.ShardedGraphStore.apply_updates`, which
+    rebuilds only the shards a mutation touched.  Directed rows carry the
+    graph's stable external edge ids.
+    """
 
-    dadj = graph.adjacency
-    local_id = np.empty(graph.num_nodes, dtype=np.int64)
-    shards = []
-    for k in range(num_shards):
+    def __init__(self, graph: Graph, owner: np.ndarray):
+        src, dst, _, eids = graph.live_edges()
+        self.num_nodes = graph.num_nodes
+        self.owner = owner
+        # Doubled (symmetrised) edge list in the exact order the monolithic
+        # undirected view is built from — filtering it per shard preserves
+        # the within-row destination order bit-for-bit.
+        self.both_src = np.concatenate([src, dst])
+        self.both_dst = np.concatenate([dst, src])
+        self.slot_owner = owner[self.both_src]
+        dcsr = CSRAdjacency(graph.num_nodes, src, dst)
+        self.d_indptr = dcsr.indptr
+        self.d_indices = dcsr.indices
+        self.d_eids = eids[dcsr.edge_ids] if eids.size else eids
+
+    def build_shard(self, k: int, local_id: np.ndarray) -> GraphShard:
+        """Build shard ``k``; writes its owned nodes' slots of ``local_id``."""
+        owner = self.owner
         owned = np.flatnonzero(owner == k)
         local_id[owned] = np.arange(owned.size, dtype=np.int64)
 
-        mask = slot_owner == k
-        ssrc = both_src[mask]
-        sdst = both_dst[mask]
+        mask = self.slot_owner == k
+        ssrc = self.both_src[mask]
+        sdst = self.both_dst[mask]
         dst_nodes = np.unique(sdst)
         ghosts = dst_nodes[owner[dst_nodes] != k]
         local_nodes = np.concatenate([owned, ghosts])
-        lut = np.full(graph.num_nodes, -1, dtype=np.int64)
+        lut = np.full(self.num_nodes, -1, dtype=np.int64)
         lut[owned] = np.arange(owned.size, dtype=np.int64)
         lut[ghosts] = owned.size + np.arange(ghosts.size, dtype=np.int64)
         csr = CSRAdjacency(local_nodes.size, lut[ssrc], lut[sdst])
 
-        d_slots, d_lens = gather_csr_rows(dadj.indptr, dadj.indices, owned)
-        d_edge_ids, _ = gather_csr_rows(dadj.indptr, dadj.edge_ids, owned)
+        d_slots, d_lens = gather_csr_rows(self.d_indptr, self.d_indices,
+                                          owned)
+        d_edge_ids, _ = gather_csr_rows(self.d_indptr, self.d_eids, owned)
         d_indptr = np.concatenate(
             [[0], np.cumsum(d_lens)]).astype(np.int64)
 
-        shards.append(GraphShard(
+        return GraphShard(
             shard_id=k, nodes=owned, local_nodes=local_nodes,
             num_owned=int(owned.size), csr=csr, d_indptr=d_indptr,
-            d_indices=d_slots, d_edge_ids=d_edge_ids))
+            d_indices=d_slots, d_edge_ids=d_edge_ids)
+
+
+def partition_graph(graph: Graph, num_shards: int,
+                    strategy: str = "greedy") -> ShardPlan:
+    """Split ``graph`` into ``num_shards`` shards (see module docstring)."""
+    owner = partition_nodes(graph, num_shards, strategy)
+    context = ShardBuildContext(graph, owner)
+    local_id = np.empty(graph.num_nodes, dtype=np.int64)
+    shards = [context.build_shard(k, local_id) for k in range(num_shards)]
     return ShardPlan(num_shards=num_shards, strategy=strategy, owner=owner,
                      local_id=local_id, shards=tuple(shards))

@@ -39,8 +39,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..graph.delta import AppliedUpdate
 from ..graph.graph import Graph
-from .partition import ShardPlan, partition_graph
+from .partition import ShardBuildContext, ShardPlan, partition_graph
+
+_U64 = np.uint64
 
 __all__ = ["ShardCounters", "ShardedGraphStore", "ShardedGraphView"]
 
@@ -68,7 +71,7 @@ class ShardedGraphStore:
         self.num_shards = plan.num_shards
         self.owner = plan.owner
         self.local_id = plan.local_id
-        self.shards = plan.shards
+        self.shards = list(plan.shards)
         self.num_nodes = graph.num_nodes
         self.num_edges = graph.num_edges
         self.num_relations = graph.num_relations
@@ -83,11 +86,26 @@ class ShardedGraphStore:
         #: worker); fetches served by any other shard count as halo.
         self.home_shard: int | None = None
         self._halo_fetches = 0
+        # Live-update plumbing: the graph is the source of truth the
+        # touched shards are rebuilt from; the owner/local-id maps become
+        # private copies on the first write (the seed plan stays frozen).
+        self._graph = graph
+        self._graph_version = graph.version
+        self._owns_maps = False
 
     @classmethod
     def from_graph(cls, graph: Graph, num_shards: int,
                    strategy: str = "greedy") -> "ShardedGraphStore":
         return cls(graph, partition_graph(graph, num_shards, strategy))
+
+    def __getstate__(self):
+        # Process workers only *read* the store; shipping the whole
+        # monolithic graph alongside the sharded payload would defeat the
+        # layout.  Updates stay host-side: the router respawns worker
+        # pools after apply_updates instead of routing writes to them.
+        state = self.__dict__.copy()
+        state["_graph"] = None
+        return state
 
     def view(self) -> "ShardedGraphView":
         return ShardedGraphView(self)
@@ -173,15 +191,104 @@ class ShardedGraphStore:
         return out
 
     def visited_scratch(self) -> np.ndarray:
-        """Check out a global-length all-``False`` mask (see CSRAdjacency)."""
+        """Check out a global-length all-``False`` mask (see CSRAdjacency).
+
+        Size-checked on checkout: :meth:`apply_updates` can grow
+        ``num_nodes``, and a mask parked before the growth must be retired
+        rather than handed to a sampler that would index past its end.
+        """
         pool = self._scratch_pool
-        if pool:
-            return pool.pop()
-        return np.zeros(self.num_nodes, dtype=bool)
+        size = self.num_nodes
+        while pool:
+            mask = pool.pop()
+            if mask.size == size:
+                return mask
+        return np.zeros(size, dtype=bool)
 
     def release_scratch(self, mask: np.ndarray) -> None:
         if mask.size == self.num_nodes:
             self._scratch_pool.append(mask)
+
+    # ------------------------------------------------------------------
+    # Live updates (shard-aware routing)
+    # ------------------------------------------------------------------
+    def _assign_owners(self, new_nodes: np.ndarray) -> np.ndarray:
+        """Owner shard per new node, by the plan's strategy.
+
+        ``hash`` stays stateless (a node's owner never depends on the rest
+        of the graph); ``greedy`` sends each new node to the shard with
+        the fewest owned nodes (ties to the lowest shard id) —
+        deterministic, and it keeps growth balanced without reshuffling
+        any existing assignment.
+        """
+        if self.num_shards == 1:
+            return np.zeros(new_nodes.size, dtype=np.int64)
+        if self.plan.strategy == "hash":
+            from .partition import _splitmix64
+
+            return (_splitmix64(new_nodes) % _U64(self.num_shards)).astype(
+                np.int64)
+        loads = np.array([shard.num_owned for shard in self.shards],
+                         dtype=np.int64)
+        owners = np.empty(new_nodes.size, dtype=np.int64)
+        for i in range(new_nodes.size):
+            k = int(np.argmin(loads))
+            owners[i] = k
+            loads[k] += 1
+        return owners
+
+    def apply_updates(self, applied: AppliedUpdate) -> np.ndarray:
+        """Route one applied graph mutation to its owner shards.
+
+        The mutation has already been applied to the underlying graph
+        (this store holds it as source of truth); this method re-routes
+        the structural change: new nodes get owner assignments, and every
+        shard owning a touched node — the only shards whose slot sets or
+        ghost tables can have changed — is rebuilt from the live edge
+        list, refreshing its local CSR, directed rows, ghost table, and
+        feature slice.  Untouched shards are left as-is byte-for-byte.
+
+        Cost note: building the shared :class:`ShardBuildContext` sorts
+        the full live edge list, so one update batch costs O(|E|) however
+        few shards it touches — correct and batch-friendly, but not yet
+        incremental.  Per-shard delta overlays (mirroring the monolithic
+        :class:`~repro.graph.delta.DeltaAdjacency`) are the follow-up
+        that makes small updates O(touched rows).
+
+        Returns the ids of the rebuilt shards.
+        """
+        graph = self._graph
+        if graph is None:
+            raise RuntimeError(
+                "worker-side store copies are read-only; apply updates on "
+                "the host store and respawn the pool")
+        if applied.version <= self._graph_version:
+            return np.empty(0, dtype=np.int64)
+        if not self._owns_maps:
+            self.owner = self.owner.copy()
+            self.local_id = self.local_id.copy()
+            self._owns_maps = True
+        new_nodes = applied.new_node_ids
+        if new_nodes.size:
+            self.owner = np.concatenate(
+                [self.owner, self._assign_owners(new_nodes)])
+            self.local_id = np.concatenate(
+                [self.local_id, np.full(new_nodes.size, -1, dtype=np.int64)])
+        touched = applied.touched_nodes
+        touched_shards = (np.unique(self.owner[touched]) if touched.size
+                          else np.empty(0, dtype=np.int64))
+        self.num_nodes = graph.num_nodes
+        self.num_edges = graph.num_edges
+        self.rel = graph.rel
+        if touched_shards.size:
+            context = ShardBuildContext(graph, self.owner)
+            for k in touched_shards.tolist():
+                shard = context.build_shard(k, self.local_id)
+                self.shards[k] = shard
+                self._features[k] = graph.node_features[shard.nodes]
+        self._scratch_pool.clear()
+        self._graph_version = applied.version
+        return touched_shards
 
     # ------------------------------------------------------------------
     # Directed rows (subgraph induction)

@@ -1,0 +1,378 @@
+"""Property-based differential suite for the live-graph mutation engine.
+
+Random mutation scripts — interleaved ``add_edges`` / ``remove_edges`` /
+``add_nodes`` / ``compact`` batches — run over a spread of synthetic
+graphs and seeds.  After **every** step the mutated graph's reads must be
+bit-identical to a from-scratch rebuild over the live edge list:
+
+* undirected rows (``neighbors`` / ``gather_neighbors`` / ``degree``),
+* directed rows + relation payload (``neighbor_edges`` → ``rel``),
+* both samplers × both engines with matched RNG streams,
+* subgraph induction (``sample_data_graph`` content equality),
+* the K-shard store (K ∈ {1, 2, 4}) fed the same updates through
+  ``ShardedGraphStore.apply_updates``.
+
+Plus regression tests for the ``visited_scratch`` free-list across
+``add_nodes`` / ``compact`` (masks sized to the old graph must be retired,
+never handed to a sampler).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRAdjacency, DeltaAdjacency, Graph, GraphUpdate
+from repro.graph.datapoints import EdgeInput, NodeInput
+from repro.graph.sampling import bfs_neighborhood, random_walk_neighborhood, \
+    sample_data_graph
+from repro.shard import ShardedGraphStore
+
+ENGINES = ("vectorized", "legacy")
+SHARD_KS = (1, 2, 4)
+
+
+# ----------------------------------------------------------------------
+# Script machinery
+# ----------------------------------------------------------------------
+def make_base_graph(kind: str, rng: np.random.Generator) -> Graph:
+    """Varied corners: multigraphs, self-loops, isolated nodes, tiny rows."""
+    if kind == "dense":
+        n, m = int(rng.integers(30, 60)), int(rng.integers(200, 350))
+    elif kind == "sparse":
+        n, m = int(rng.integers(60, 120)), int(rng.integers(60, 140))
+    else:  # "tiny"
+        n, m = int(rng.integers(6, 14)), int(rng.integers(4, 20))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    # Force a few self-loops and parallel edges into every graph.
+    if m >= 4:
+        src[0], dst[0] = 1, 1
+        src[1], dst[1] = src[2], dst[2]
+    num_rel = int(rng.integers(1, 5))
+    return Graph(n, src, dst, rel=rng.integers(0, num_rel, size=m),
+                 num_relations=num_rel,
+                 node_features=rng.normal(size=(n, 3)),
+                 node_labels=rng.integers(0, 3, size=n),
+                 name=f"prop-{kind}")
+
+
+def random_step(graph: Graph, rng: np.random.Generator) -> str:
+    """Apply one random mutation batch; returns a label for diagnostics."""
+    op = rng.choice(["add", "remove", "add_nodes", "mixed", "compact"])
+    _, _, _, live = graph.live_edges()
+    if op == "compact":
+        graph.compact()
+        return op
+    if op == "add" or (op == "remove" and live.size == 0):
+        k = int(rng.integers(1, 12))
+        graph.add_edges(rng.integers(0, graph.num_nodes, size=k),
+                        rng.integers(0, graph.num_nodes, size=k),
+                        rng.integers(0, graph.num_relations, size=k))
+        return "add"
+    if op == "remove":
+        k = int(rng.integers(1, min(8, live.size) + 1))
+        graph.remove_edges(rng.choice(live, size=k, replace=False))
+        return op
+    if op == "add_nodes":
+        count = int(rng.integers(1, 4))
+        new = graph.add_nodes(rng.normal(size=(count, graph.feature_dim)),
+                              rng.integers(0, 3, size=count))
+        # Wire the new nodes in so they are reachable.
+        graph.add_edges(new, rng.integers(0, graph.num_nodes, size=new.size))
+        return op
+    # "mixed": one atomic batch through apply_updates.
+    k = int(rng.integers(1, 8))
+    remove = rng.choice(live, size=min(3, live.size), replace=False) \
+        if live.size else ()
+    graph.apply_updates(GraphUpdate(
+        add_src=rng.integers(0, graph.num_nodes, size=k),
+        add_dst=rng.integers(0, graph.num_nodes, size=k),
+        add_rel=rng.integers(0, graph.num_relations, size=k),
+        remove_edges=remove,
+        add_node_features=rng.normal(size=(1, graph.feature_dim)),
+        add_node_labels=[0]))
+    return op
+
+
+def assert_reads_equal(graph: Graph, ref: Graph, context: str) -> None:
+    """Monolithic overlay reads == rebuild reads, all nodes."""
+    assert graph.num_nodes == ref.num_nodes
+    assert graph.num_live_edges == ref.num_edges
+    assert np.array_equal(graph.degree(), ref.degree()), context
+    for node in range(graph.num_nodes):
+        assert np.array_equal(graph.neighbors(node), ref.neighbors(node)), \
+            (context, node)
+        dsts, eids = graph.adjacency.neighbor_edges(node)
+        ref_dsts, ref_eids = ref.adjacency.neighbor_edges(node)
+        assert np.array_equal(dsts, ref_dsts), (context, node, "directed")
+        assert np.array_equal(graph.rel[eids], ref.rel[ref_eids]), \
+            (context, node, "rel")
+    rng = np.random.default_rng(0)
+    frontier = rng.integers(0, graph.num_nodes, size=13)
+    assert np.array_equal(
+        graph.undirected_adjacency.gather_neighbors(frontier),
+        ref.undirected_adjacency.gather_neighbors(frontier)), context
+
+
+def assert_sampling_equal(graph, ref, rng: np.random.Generator,
+                          context: str) -> None:
+    """Both samplers × both engines, matched draws, on any graph-like."""
+    seeds = rng.integers(0, ref.num_nodes, size=2)
+    for sampler in (bfs_neighborhood, random_walk_neighborhood):
+        for engine in ENGINES:
+            draw = int(rng.integers(2**31))
+            got = sampler(graph, seeds, 2, 16,
+                          np.random.default_rng(draw), engine=engine)
+            want = sampler(ref, seeds, 2, 16,
+                           np.random.default_rng(draw), engine=engine)
+            assert np.array_equal(got, want), \
+                (context, sampler.__name__, engine)
+
+
+def assert_induction_equal(graph, ref, rng: np.random.Generator,
+                           context: str) -> None:
+    """Induced data graphs carry identical content (ids may renumber)."""
+    u = int(rng.integers(0, ref.num_nodes))
+    v = int(rng.integers(0, ref.num_nodes))
+    draw = int(rng.integers(2**31))
+    for datapoint in (NodeInput(u), EdgeInput(u, v, relation=0)):
+        got = sample_data_graph(graph, datapoint, num_hops=2, max_nodes=12,
+                                rng=np.random.default_rng(draw))
+        want = sample_data_graph(ref, datapoint, num_hops=2, max_nodes=12,
+                                 rng=np.random.default_rng(draw))
+        for field in ("nodes", "src", "dst", "rel", "node_features",
+                      "centers"):
+            assert np.array_equal(getattr(got, field),
+                                  getattr(want, field)), \
+                (context, type(datapoint).__name__, field)
+
+
+# ----------------------------------------------------------------------
+# The differential property: 10 graph kinds/configs × 3 seeds = 30 trials
+# ----------------------------------------------------------------------
+TRIALS = [(kind, variant, seed)
+          for kind in ("dense", "sparse", "tiny")
+          for variant in range(3 if kind == "tiny" else 4)
+          for seed in range(3)][:36]
+
+
+@pytest.mark.parametrize("kind,variant,seed", TRIALS)
+def test_mutation_script_matches_rebuild(kind, variant, seed):
+    rng = np.random.default_rng([kind == "dense", variant, seed])
+    graph = make_base_graph(kind, rng)
+    graph.compact_threshold = 0.4 if variant % 2 else None  # auto vs manual
+    graph.undirected_adjacency  # some trials promote built CSRs …
+    if variant % 2:
+        graph.adjacency  # … others build overlays lazily post-mutation
+    for step in range(6):
+        label = random_step(graph, rng)
+        ref = graph.rebuild()
+        context = f"{kind}/{variant}/{seed} step {step} ({label})"
+        assert_reads_equal(graph, ref, context)
+        assert_sampling_equal(graph, ref, rng, context)
+        assert_induction_equal(graph, ref, rng, context)
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "hash"])
+@pytest.mark.parametrize("seed", range(3))
+def test_sharded_mutation_matches_rebuild(strategy, seed):
+    rng = np.random.default_rng([7, seed])
+    graph = make_base_graph("dense", rng)
+    stores = {k: ShardedGraphStore.from_graph(graph, k, strategy)
+              for k in SHARD_KS}
+    for step in range(5):
+        _, _, _, live = graph.live_edges()
+        update = GraphUpdate(
+            add_src=rng.integers(0, graph.num_nodes, size=6),
+            add_dst=rng.integers(0, graph.num_nodes, size=6),
+            add_rel=rng.integers(0, graph.num_relations, size=6),
+            remove_edges=rng.choice(live, size=min(4, live.size),
+                                    replace=False),
+            add_node_features=(rng.normal(size=(1, graph.feature_dim))
+                               if step == 2 else None),
+            add_node_labels=[1] if step == 2 else None)
+        applied = graph.apply_updates(update)
+        for k, store in stores.items():
+            store.apply_updates(applied)
+        if step == 3:
+            graph.compact()  # compaction changes no reads: stores unaware
+        ref = graph.rebuild()
+        for k, store in stores.items():
+            context = f"{strategy}/{seed} step {step} K={k}"
+            view = store.view()
+            assert store.num_nodes == ref.num_nodes
+            assert np.array_equal(store.degree(), ref.degree()), context
+            for node in range(ref.num_nodes):
+                assert np.array_equal(store.neighbors(node),
+                                      ref.neighbors(node)), (context, node)
+                dsts, eids = store.neighbor_edges(node)
+                ref_dsts, ref_eids = ref.adjacency.neighbor_edges(node)
+                assert np.array_equal(dsts, ref_dsts), (context, node)
+                assert np.array_equal(store.rel[eids],
+                                      ref.rel[ref_eids]), (context, node)
+            frontier = rng.integers(0, ref.num_nodes, size=11)
+            assert np.array_equal(
+                store.gather_neighbors(frontier),
+                ref.undirected_adjacency.gather_neighbors(frontier)), context
+            assert np.array_equal(store.gather_node_features(frontier),
+                                  ref.node_features[frontier]), context
+            assert_sampling_equal(view, ref, np.random.default_rng(
+                [seed, step, k]), context)
+            assert_induction_equal(view, ref, np.random.default_rng(
+                [seed, step, k, 1]), context)
+
+
+def test_sharded_update_rebuilds_only_touched_shards():
+    rng = np.random.default_rng(11)
+    graph = make_base_graph("dense", rng)
+    store = ShardedGraphStore.from_graph(graph, 4, "greedy")
+    before = list(store.shards)
+    # Touch a single node pair owned by (at most) two shards.
+    applied = graph.apply_updates(GraphUpdate(add_src=[0], add_dst=[1]))
+    rebuilt = set(store.apply_updates(applied).tolist())
+    expected = {int(store.owner[0]), int(store.owner[1])}
+    assert rebuilt == expected
+    for k in range(4):
+        same = store.shards[k] is before[k]
+        assert same == (k not in rebuilt)
+    # Replaying the same receipt is a no-op.
+    assert store.apply_updates(applied).size == 0
+
+
+def test_edge_ids_stable_across_removal_and_compact():
+    rng = np.random.default_rng(3)
+    graph = make_base_graph("dense", rng)
+    keep = 5  # an edge id we hold across mutations
+    u, r, v = graph.edge_endpoints(keep)
+    _, _, _, live = graph.live_edges()
+    doomed = [e for e in live.tolist() if e != keep][:10]
+    graph.remove_edges(doomed)
+    graph.compact()
+    assert graph.edge_endpoints(keep) == (u, r, v)
+    dsts, eids = graph.adjacency.neighbor_edges(u)
+    assert keep in eids.tolist()
+    assert int(graph.rel[keep]) == r
+    with pytest.raises(ValueError):
+        graph.remove_edges([doomed[0]])  # already removed
+
+
+# ----------------------------------------------------------------------
+# visited_scratch free-list across grow/compact (the reentrancy gap)
+# ----------------------------------------------------------------------
+def test_scratch_checkout_across_add_nodes_and_compact():
+    rng = np.random.default_rng(0)
+    graph = make_base_graph("dense", rng)
+    adj = graph.undirected_adjacency  # plain CSR; promoted on first write
+    graph.add_edges([0], [1])
+    adj = graph.undirected_adjacency
+    assert isinstance(adj, DeltaAdjacency)
+    old_size = graph.num_nodes
+    borrowed = adj.visited_scratch()
+    assert borrowed.size == old_size
+
+    new = graph.add_nodes(rng.normal(size=(3, graph.feature_dim)),
+                          [0, 1, 2])
+    graph.add_edges(new, [0, 1, 2])
+    assert graph.undirected_adjacency is adj  # grown in place, not rebuilt
+
+    # A second borrower mid-flight gets a mask sized to the *grown* graph.
+    fresh = adj.visited_scratch()
+    assert fresh.size == graph.num_nodes > old_size
+    fresh[new[-1]] = True  # indexing a new node must be in range
+    fresh[new[-1]] = False
+    adj.release_scratch(fresh)
+
+    # Releasing the stale-sized mask parks it, but checkout retires it
+    # instead of handing it back out.
+    adj.release_scratch(borrowed)
+    again = adj.visited_scratch()
+    assert again.size == graph.num_nodes
+    adj.release_scratch(again)
+
+
+def test_sampling_concurrently_across_compact():
+    """A sampler holding a scratch across a compact() must stay correct."""
+    rng = np.random.default_rng(1)
+    graph = make_base_graph("dense", rng)
+    graph.add_edges([2], [3])
+    adj = graph.undirected_adjacency
+    held = adj.visited_scratch()  # simulate an in-flight borrower
+    graph.remove_edges([0])
+    graph.compact()  # swaps the overlay object behind the property
+    new_adj = graph.undirected_adjacency
+    assert new_adj is not adj
+
+    # Sampling after the compact is correct and uses the new overlay.
+    ref = graph.rebuild()
+    result = bfs_neighborhood(graph, np.array([2]), 2, 16)
+    assert np.array_equal(result, bfs_neighborhood(ref, np.array([2]), 2, 16))
+
+    # The in-flight borrower releases into the retired overlay — harmless —
+    # and new checkouts from the live overlay are all-False and full-size.
+    adj.release_scratch(held)
+    mask = new_adj.visited_scratch()
+    assert mask.size == graph.num_nodes and not mask.any()
+    new_adj.release_scratch(mask)
+
+
+def test_sharded_scratch_retired_after_node_growth():
+    rng = np.random.default_rng(2)
+    graph = make_base_graph("dense", rng)
+    store = ShardedGraphStore.from_graph(graph, 2, "greedy")
+    mask = store.visited_scratch()
+    store.release_scratch(mask)  # parked at the old size
+    applied = graph.apply_updates(GraphUpdate(
+        add_node_features=rng.normal(size=(2, graph.feature_dim)),
+        add_node_labels=[0, 0],
+        add_src=[0], add_dst=[1]))
+    store.apply_updates(applied)
+    grown = store.visited_scratch()
+    assert grown.size == store.num_nodes == graph.num_nodes
+    store.release_scratch(grown)
+
+
+def test_delta_overlay_fraction_and_auto_compact():
+    rng = np.random.default_rng(4)
+    graph = make_base_graph("dense", rng)
+    graph.undirected_adjacency
+    graph.compact_threshold = 0.05
+    baseline = graph._compactions
+    # Enough overlay to cross 5%: auto-compact fires inside the mutator.
+    k = max(graph.num_edges // 10, 8)
+    graph.add_edges(rng.integers(0, graph.num_nodes, size=k),
+                    rng.integers(0, graph.num_nodes, size=k))
+    assert graph._compactions > baseline
+    assert graph.overlay_fraction <= 0.05
+    assert_reads_equal(graph, graph.rebuild(), "auto-compact")
+
+
+def test_gather_fast_path_used_on_clean_frontiers():
+    """Dirty-row bookkeeping must not poison untouched regions."""
+    rng = np.random.default_rng(5)
+    graph = make_base_graph("sparse", rng)
+    graph.add_edges([0], [1])  # promote; rows 0/1 dirty
+    adj = graph.undirected_adjacency
+    clean_nodes = np.array([n for n in range(2, graph.num_nodes)][:9])
+    want = np.concatenate([adj.neighbors(int(n)) for n in clean_nodes]) \
+        if clean_nodes.size else np.empty(0, dtype=np.int64)
+    got = adj.gather_neighbors(clean_nodes)
+    assert np.array_equal(got, want)
+    assert not adj._dirty[clean_nodes].any()
+
+
+def test_remove_unknown_and_duplicate_edges_raise():
+    rng = np.random.default_rng(6)
+    graph = make_base_graph("tiny", rng)
+    with pytest.raises(ValueError):
+        graph.remove_edges([graph.num_edges])  # out of range
+    if graph.num_edges:
+        with pytest.raises(ValueError):
+            graph.remove_edges([0, 0])  # duplicate in one batch
+
+
+def test_csr_gather_matches_overlay_on_fresh_graph():
+    """A never-mutated graph keeps serving plain CSRs (zero overhead)."""
+    rng = np.random.default_rng(8)
+    graph = make_base_graph("dense", rng)
+    assert isinstance(graph.undirected_adjacency, CSRAdjacency)
+    assert isinstance(graph.adjacency, CSRAdjacency)
+    assert graph.overlay_fraction == 0.0

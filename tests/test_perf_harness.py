@@ -63,7 +63,8 @@ class TestRunBenchmarks:
         assert set(parsed["benchmarks"]) == EXPECTED_BENCHMARKS
 
     def test_profiles_cover_expected_scales(self):
-        assert set(PROFILES) == {"full", "quick", "smoke", "shard"}
+        assert set(PROFILES) == {"full", "quick", "smoke", "shard",
+                                 "mutate"}
         assert (PROFILES["full"]["sample_edges"]
                 > PROFILES["quick"]["sample_edges"]
                 > PROFILES["smoke"]["sample_edges"])

@@ -344,3 +344,221 @@ class TestSessionStats:
         assert stats.total_wait_s == pytest.approx(0.4)
         assert stats.total_service_s == pytest.approx(0.6)
         assert stats.last_active == 6.0
+
+
+# ----------------------------------------------------------------------
+# Live graph updates: cache-epoch invalidation
+# ----------------------------------------------------------------------
+def two_component_setup():
+    """A graph of two disconnected halves, one serving session per half.
+
+    Disconnection makes dependency scoping provable: a mutation inside
+    one component cannot change any subgraph sampled in the other.
+    """
+    from repro.graph import Graph
+
+    rng = np.random.default_rng(0)
+    half, m = 40, 160
+    src = np.concatenate([rng.integers(0, half, m),
+                          rng.integers(half, 2 * half, m)])
+    dst = np.concatenate([rng.integers(0, half, m),
+                          rng.integers(half, 2 * half, m)])
+    rel = rng.integers(0, 3, 2 * m)
+    graph = Graph(2 * half, src, dst, rel=rel, num_relations=3,
+                  node_features=rng.normal(size=(2 * half, 6)),
+                  name="two-component")
+    dataset = Dataset(graph, EDGE_TASK, rng=0)
+    config = GraphPrompterConfig(hidden_dim=8, mutable_graph=True)
+    model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                               config)
+    model.eval()
+    return graph, dataset, config, model
+
+
+def component_episode(graph, lo, hi, rng, per_class=4, num_queries=4):
+    """A 2-way edge episode whose datapoints all live inside [lo, hi)."""
+    from repro.core.episodes import Episode
+    from repro.graph import EdgeInput
+
+    ids = np.flatnonzero((graph.src >= lo) & (graph.src < hi))
+    candidates, labels, queries, query_labels = [], [], [], []
+    for local, relation in enumerate((0, 1)):
+        members = [int(e) for e in ids if graph.rel[e] == relation]
+        rng.shuffle(members)
+        assert len(members) >= per_class + num_queries // 2
+        for e in members[:per_class]:
+            candidates.append(EdgeInput(int(graph.src[e]),
+                                        int(graph.dst[e]),
+                                        relation=relation))
+            labels.append(local)
+        for e in members[per_class:per_class + num_queries // 2]:
+            queries.append(EdgeInput(int(graph.src[e]), int(graph.dst[e])))
+            query_labels.append(local)
+    return Episode(way_classes=np.array([0, 1]),
+                   candidates=candidates,
+                   candidate_labels=np.array(labels, dtype=np.int64),
+                   queries=queries,
+                   query_labels=np.array(query_labels, dtype=np.int64))
+
+
+class TestGraphMutationServing:
+    def test_update_requires_mutable_config(self):
+        from repro.graph import GraphUpdate
+
+        graph = synthetic_knowledge_graph(80, 3, 400, feature_dim=6, rng=0)
+        dataset = Dataset(graph, EDGE_TASK, rng=0)
+        config = GraphPrompterConfig(hidden_dim=8)  # mutable_graph off
+        model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                                   config)
+        server = PromptServer(model, dataset, rng=0)
+        with pytest.raises(RuntimeError, match="mutable_graph"):
+            server.update_graph(GraphUpdate(add_src=[0], add_dst=[1]))
+
+    def test_mutated_session_invalidated_untouched_keeps_cache(self):
+        from repro.graph import GraphUpdate
+
+        graph, dataset, config, model = two_component_setup()
+        server = PromptServer(model, dataset, max_batch_size=4, rng=0)
+        rng = np.random.default_rng(1)
+        episode_a = component_episode(graph, 0, 40, rng)
+        episode_b = component_episode(graph, 40, 80, rng)
+        server.open_session("a", episode_a)
+        server.open_session("b", episode_b)
+        for q in range(4):
+            server.submit("a", episode_a.queries[q])
+            server.submit("b", episode_b.queries[q])
+        server.drain()
+
+        state_a = server.sessions.get("a")
+        state_b = server.sessions.get("b")
+        assert len(state_a.augmenter) > 0 and len(state_b.augmenter) > 0
+        assert state_a.dependent_nodes and state_b.dependent_nodes
+        assert max(state_a.dependent_nodes) < 40 <= min(
+            state_b.dependent_nodes)
+        pool_b = state_b.candidate_emb
+        cache_b = state_b.augmenter.stats()
+
+        # Mutate strictly inside component A, on nodes session A depends on.
+        touched = sorted(state_a.dependent_nodes)[:2]
+        applied = server.update_graph(GraphUpdate(
+            add_src=[touched[0]], add_dst=[touched[-1]], add_rel=[2]))
+        assert applied.version == graph.version
+        assert state_a.stale and not state_b.stale
+        assert server.stats.sessions_invalidated == 1
+        assert server.stats.graph_version == graph.version
+
+        # Next predictions: A refreshes (pool re-encoded, cache purged —
+        # counted as stale evictions), B answers from its intact cache.
+        server.submit("a", episode_a.queries[0])
+        server.submit("b", episode_b.queries[0])
+        server.drain()
+        assert not state_a.stale
+        assert state_a.graph_version == graph.version
+        assert state_a.augmenter.stats().stale_evictions > 0
+        assert server.stats.stale_evictions > 0
+        assert state_b.candidate_emb is pool_b
+        after_b = state_b.augmenter.stats()
+        assert after_b.stale_evictions == 0
+        assert after_b.insertions >= cache_b.insertions
+        assert state_b.graph_version < graph.version  # never re-encoded
+
+    def test_mutated_session_matches_cold_server(self):
+        """Post-refresh answers == a cold server's: no pre-mutation cache
+        (pool encodings or pseudo-label prompts) survives into them."""
+        from repro.graph import GraphUpdate
+
+        graph, dataset, config, model = two_component_setup()
+        server = PromptServer(model, dataset, max_batch_size=4, rng=0)
+        rng = np.random.default_rng(2)
+        episode_a = component_episode(graph, 0, 40, rng)
+        server.open_session("a", episode_a)
+        for q in range(4):
+            server.submit("a", episode_a.queries[q])
+        server.drain()
+        state_a = server.sessions.get("a")
+
+        touched = sorted(state_a.dependent_nodes)[:2]
+        server.update_graph(GraphUpdate(
+            add_src=[touched[0], touched[-1]],
+            add_dst=[touched[-1], touched[0]], add_rel=[2, 1]))
+        assert state_a.stale
+
+        cold_dataset = Dataset(graph.rebuild(), EDGE_TASK, rng=0)
+        cold = PromptServer(model, cold_dataset, max_batch_size=4, rng=0)
+        cold.open_session("a", episode_a)
+        live_preds, cold_preds = [], []
+        for q in range(4):
+            server.submit("a", episode_a.queries[q])
+            cold.submit("a", episode_a.queries[q])
+            live_preds.extend(
+                (r.prediction, r.confidence) for r in server.drain())
+            cold_preds.extend(
+                (r.prediction, r.confidence) for r in cold.drain())
+        assert live_preds == cold_preds
+
+    def test_version_epoch_monotonic_and_dependencies_grow(self):
+        from repro.graph import GraphUpdate
+
+        graph, dataset, config, model = two_component_setup()
+        server = PromptServer(model, dataset, max_batch_size=4, rng=0)
+        rng = np.random.default_rng(3)
+        episode = component_episode(graph, 0, 40, rng)
+        state = server.open_session("a", episode)
+        deps_after_open = set(state.dependent_nodes)
+        server.submit("a", episode.queries[0])
+        server.drain()
+        # Query subgraph nodes joined the dependency set.
+        assert state.dependent_nodes >= deps_after_open
+        versions = [graph.version]
+        for _ in range(3):
+            server.update_graph(GraphUpdate(add_src=[50], add_dst=[51]))
+            versions.append(graph.version)
+        assert versions == sorted(set(versions))
+        assert server.stats.graph_updates == 3
+        # Component-B mutations never invalidate the component-A session.
+        assert server.stats.sessions_invalidated == 0
+
+    def test_sharded_mutating_server_matches_monolithic(self):
+        """Updates routed through the shard layer change nothing: the
+        K-shard mutable server predicts exactly like the monolithic one
+        before and after the same update batch."""
+        from repro.graph import GraphUpdate
+
+        config = GraphPrompterConfig(hidden_dim=8, mutable_graph=True)
+        graph = synthetic_knowledge_graph(150, 3, 900, feature_dim=6, rng=0)
+        model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                                   config)
+        model.eval()
+        base_dataset = Dataset(graph, EDGE_TASK, rng=0)
+        episodes = [sample_episode(base_dataset, num_ways=3, num_queries=4,
+                                   rng=50 + i) for i in range(2)]
+        rng = np.random.default_rng(4)
+        update = GraphUpdate(
+            add_src=rng.integers(0, graph.num_nodes, 12),
+            add_dst=rng.integers(0, graph.num_nodes, 12),
+            add_rel=rng.integers(0, graph.num_relations, 12),
+            remove_edges=rng.choice(graph.num_edges, 8, replace=False))
+
+        outputs = {}
+        for num_shards in (1, 2):
+            dataset = Dataset(graph.rebuild(), EDGE_TASK, rng=0)
+            server = PromptServer(model, dataset, max_batch_size=4, rng=0,
+                                  num_shards=num_shards,
+                                  num_workers=num_shards,
+                                  worker_backend="serial")
+            results = []
+            for i, episode in enumerate(episodes):
+                server.open_session(f"s{i}", episode)
+            for q in range(2):
+                for i, episode in enumerate(episodes):
+                    server.submit(f"s{i}", episode.queries[q])
+            results.extend(server.drain())
+            server.update_graph(update)
+            for q in range(2, 4):
+                for i, episode in enumerate(episodes):
+                    server.submit(f"s{i}", episode.queries[q])
+            results.extend(server.drain())
+            outputs[num_shards] = [(r.session_id, r.prediction)
+                                   for r in results]
+            server.close()
+        assert outputs[2] == outputs[1]
