@@ -8,8 +8,6 @@ LFU frequencies, and how accuracy compares with the Augmenter disabled
 Run:  python examples/online_augmentation_demo.py      (~1 min)
 """
 
-import numpy as np
-
 from repro.core import (
     GraphPrompterConfig,
     GraphPrompterModel,

@@ -42,7 +42,6 @@ class ProGBaseline:
                             prompt: Tensor) -> Tensor:
         """Encode a batch whose node features are shifted by the prompt token."""
         shifted = Tensor(batch.node_features) + prompt
-        original = batch.node_features
         # The encoder reads ``batch.node_features`` as a plain array, so we
         # inject the prompt through the projected input instead: rebuild the
         # projection manually to keep the gradient path to ``prompt``.

@@ -25,8 +25,10 @@ from .experiments import (
     ablation_knn_metric,
     ablation_recon_scorer,
     serve_bench,
+    serve_bench_gateway,
     serve_bench_mutating,
     serve_bench_sharded,
+    serve_gateway_demo,
     fig3_ablation,
     fig4_gnn_architectures,
     fig5_cache_size,
@@ -66,6 +68,10 @@ EXPERIMENTS = {
                             "sharded/parallel serving equivalence + QPS"),
     "serve-bench-mutating": (serve_bench_mutating,
                              "live-mutation serving + cold-rebuild equality"),
+    "serve-bench-gateway": (serve_bench_gateway,
+                            "multi-tenant gateway QoS + equivalence bench"),
+    "serve-gateway": (serve_gateway_demo,
+                      "async multi-tenant gateway demo driver"),
 }
 
 

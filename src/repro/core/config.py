@@ -87,6 +87,33 @@ class GraphPrompterConfig:
         has more than one usable core, else serial), ``"process"``
         (force a pool), or ``"serial"`` (deterministic in-process
         fallback).
+    gateway_max_queue:
+        Bound of the serving gateway's admission queue (across all
+        priority classes).  Above it requests are shed with a typed
+        ``Overloaded`` result; lower priority classes are shed earlier
+        (at fixed fractions of the bound) so interactive latency stays
+        bounded under overload.
+    gateway_max_batch_size:
+        Micro-batch size cap of each gateway priority queue.
+    gateway_max_wait_s:
+        Age bound of a waiting gateway batch (the base release policy);
+        the deadline-aware policy usually fires first.
+    gateway_flush_fraction:
+        Fraction of a request's deadline budget it may spend queued
+        before its class queue force-flushes, leaving the rest of the
+        budget for service.
+    gateway_tenant_rate_qps:
+        Sustained per-tenant admission rate (token-bucket refill);
+        0 disables rate limiting.
+    gateway_tenant_burst:
+        Token-bucket capacity: how many requests a tenant may burst
+        above the sustained rate.
+    gateway_tenant_quota:
+        Absolute per-tenant admitted-query quota (0 = unlimited).
+    gateway_deadline_interactive_s / gateway_deadline_batch_s /
+    gateway_deadline_background_s:
+        Deadline budget attached to each admitted request by priority
+        class.
     mutable_graph:
         Enable the serving layer's live-update path
         (:meth:`~repro.serving.PromptServer.update_graph`): online
@@ -125,6 +152,16 @@ class GraphPrompterConfig:
     worker_backend: str = "auto"
     mutable_graph: bool = False
     compact_threshold: float = 0.25
+    gateway_max_queue: int = 128
+    gateway_max_batch_size: int = 16
+    gateway_max_wait_s: float = 1.0
+    gateway_flush_fraction: float = 0.5
+    gateway_tenant_rate_qps: float = 0.0
+    gateway_tenant_burst: float = 16.0
+    gateway_tenant_quota: int = 0
+    gateway_deadline_interactive_s: float = 0.05
+    gateway_deadline_batch_s: float = 0.5
+    gateway_deadline_background_s: float = 5.0
     seed: int = 0
 
     def validate(self) -> "GraphPrompterConfig":
@@ -159,6 +196,25 @@ class GraphPrompterConfig:
             raise ValueError(f"unknown worker backend {self.worker_backend!r}")
         if self.compact_threshold <= 0:
             raise ValueError("compact_threshold must be positive")
+        if self.gateway_max_queue < 1:
+            raise ValueError("gateway_max_queue must be at least 1")
+        if self.gateway_max_batch_size < 1:
+            raise ValueError("gateway_max_batch_size must be at least 1")
+        if self.gateway_max_wait_s < 0:
+            raise ValueError("gateway_max_wait_s must be non-negative")
+        if not 0.0 < self.gateway_flush_fraction <= 1.0:
+            raise ValueError("gateway_flush_fraction must be in (0, 1]")
+        if self.gateway_tenant_rate_qps < 0:
+            raise ValueError("gateway_tenant_rate_qps must be non-negative")
+        if self.gateway_tenant_burst <= 0:
+            raise ValueError("gateway_tenant_burst must be positive")
+        if self.gateway_tenant_quota < 0:
+            raise ValueError("gateway_tenant_quota must be non-negative")
+        for name in ("gateway_deadline_interactive_s",
+                     "gateway_deadline_batch_s",
+                     "gateway_deadline_background_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
         return self
 
     def ablate(self, **flags) -> "GraphPrompterConfig":

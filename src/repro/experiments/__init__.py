@@ -16,6 +16,7 @@ from .figures import (
     fig8_multi_hop,
     fig9_training_curves,
 )
+from .gateway import serve_bench_gateway, serve_gateway_demo
 from .grids import accuracy_grid
 from .serving import serve_bench, serve_bench_mutating, serve_bench_sharded
 from .tables import (
@@ -38,8 +39,10 @@ __all__ = [
     "ablation_recon_scorer",
     "accuracy_grid",
     "serve_bench",
+    "serve_bench_gateway",
     "serve_bench_mutating",
     "serve_bench_sharded",
+    "serve_gateway_demo",
     "table2_dataset_statistics",
     "table3_arxiv",
     "table4_kg",

@@ -272,13 +272,17 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 if other.data.ndim == 1:
-                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data)
+                    self._accumulate(np.outer(grad, other.data)
+                                     if self.data.ndim == 2
+                                     else grad * other.data)
                 else:
                     g = grad @ other.data.swapaxes(-1, -2)
                     self._accumulate(_unbroadcast(g, self.shape))
             if other.requires_grad:
                 if self.data.ndim == 1:
-                    other._accumulate(np.outer(self.data, grad) if other.data.ndim == 2 else grad * self.data)
+                    other._accumulate(np.outer(self.data, grad)
+                                      if other.data.ndim == 2
+                                      else grad * self.data)
                 else:
                     g = self.data.swapaxes(-1, -2) @ grad
                     other._accumulate(_unbroadcast(g, other.shape))

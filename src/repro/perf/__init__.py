@@ -50,13 +50,17 @@ def _format_results(results: dict) -> str:
     rows = []
     for name, cells in results["benchmarks"].items():
         keys = [k for k in cells if k.endswith("_s")]
+        qps_keys = [k for k in cells if k.startswith("qps_")]
         if keys:  # microbenchmark pair: per-call seconds
             detail = ", ".join(f"{k[:-2]} {cells[k] * 1e6:.0f}us"
                                for k in keys)
-        else:     # serving: QPS pair
-            qps_keys = [k for k in cells if k.startswith("qps_")]
+        elif qps_keys:  # serving: QPS pair
             detail = ("qps " + " -> ".join(f"{cells[k]:.1f}"
                                            for k in qps_keys))
+        else:  # counter-style entry (e.g. the gateway overload outcome)
+            detail = ", ".join(
+                f"{k} {value:.3g}" for k, value in cells.items()
+                if isinstance(value, (int, float)))
         speedup = (f"{cells['speedup']:.2f}x" if "speedup" in cells
                    else "-")
         rows.append([name, speedup, detail])
@@ -158,9 +162,18 @@ def bench_main(argv: list[str] | None = None) -> int:
             "schema": BASELINE_SCHEMA,
             "profiles": sections,
         }
-        with open(args.output, "w") as handle:
+        # Atomic merge-write: an interrupted run must never leave a
+        # truncated/half-written baseline behind — CI compares against
+        # this file, so a torn write would fail every later check.  The
+        # temp file lives in the output's directory so the final rename
+        # stays a same-filesystem atomic replace.
+        temp_path = f"{args.output}.tmp"
+        with open(temp_path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, args.output)
         print(f"[wrote {args.output}]")
 
     if baseline is not None:

@@ -123,6 +123,14 @@ PROFILES = {
                    rw_hops=3, rw_cap=1024,
                    mutate_batch=512, overlay_fraction=0.10,
                    min_runtime_s=0.05),
+    # Multi-tenant gateway (runs the gateway benchmarks only): the
+    # admission/priority/deadline machinery's end-to-end overhead over a
+    # bare PromptServer drain, and the overload shedding outcome.
+    "gateway": dict(nodes=1500, edges=9000, relations=8, feature_dim=32,
+                    hidden_dim=32, max_nodes=48,
+                    serve_sessions=4, serve_queries=6, serve_batch=8,
+                    overload_rounds=2, overload_per_round=3,
+                    num_ways=5, min_runtime_s=0.05),
 }
 
 
@@ -484,6 +492,118 @@ def _mutation_benchmarks(p: dict) -> dict:
     return out
 
 
+def _gateway_benchmarks(p: dict) -> dict:
+    """Gateway overhead vs. bare server, plus the overload shed outcome."""
+    import asyncio
+
+    from ..experiments.serving import replay_workload
+    from ..serving import Overloaded, Priority, ServingGateway
+
+    graph = _benchmark_graph(p)
+    config = GraphPrompterConfig(hidden_dim=p["hidden_dim"],
+                                 max_subgraph_nodes=p["max_nodes"])
+    dataset = Dataset(graph, EDGE_TASK, rng=0)
+    model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                               config)
+    episodes = [
+        sample_episode(dataset, num_ways=p["num_ways"],
+                       num_queries=p["serve_queries"], rng=100 + i)
+        for i in range(p["serve_sessions"])
+    ]
+
+    def direct_qps() -> float:
+        best = 0.0
+        for _ in range(3):
+            server = PromptServer(model, dataset,
+                                  max_batch_size=p["serve_batch"], rng=0)
+            results, elapsed = replay_workload(server, episodes)
+            best = max(best, len(results) / elapsed)
+        return best
+
+    async def one_gateway_replay() -> float:
+        server = PromptServer(model, dataset,
+                              max_batch_size=p["serve_batch"], rng=0)
+        gateway = ServingGateway(server, max_queue=4096,
+                                 max_batch_size=p["serve_batch"],
+                                 auto_drain=False)
+        for i, episode in enumerate(episodes):
+            gateway.open_session(f"tenant-{i}", f"session-{i}", episode)
+        futures = []
+        start = time.perf_counter()
+        for q in range(episodes[0].num_queries):
+            for i, episode in enumerate(episodes):
+                futures.append(gateway.submit_nowait(f"session-{i}",
+                                                     episode.queries[q]))
+        await gateway.flush()
+        elapsed = time.perf_counter() - start
+        await gateway.close()
+        return len(futures) / elapsed
+
+    def gateway_qps() -> float:
+        return max(asyncio.run(one_gateway_replay()) for _ in range(3))
+
+    qps_direct = direct_qps()
+    qps_gateway = gateway_qps()
+    out = {"gateway_overhead": {
+        "qps_direct": qps_direct,
+        "qps_gateway": qps_gateway,
+        # Ratio ≤ 1 expected: it tracks the admission + ledger + asyncio
+        # overhead per query; the regression check guards it from
+        # silently growing.
+        "speedup": qps_gateway / qps_direct if qps_direct > 0
+        else float("inf"),
+        "batch_size": p["serve_batch"],
+        "sessions": p["serve_sessions"],
+    }}
+
+    # Overload outcome at 2x queue capacity: shed rate, interactive p95
+    # queue wait, deadline misses — recorded (not ratio-gated) so the
+    # committed baseline documents the QoS behaviour CI smoke asserts.
+    async def overload() -> dict:
+        rounds = p["overload_rounds"]
+        per_round = p["overload_per_round"]
+        classes = [Priority.INTERACTIVE, Priority.BATCH,
+                   Priority.BACKGROUND, Priority.BATCH]
+        max_queue = max(len(episodes) * per_round // 2, 4)
+        server = PromptServer(model, dataset,
+                              max_batch_size=p["serve_batch"], rng=0)
+        gateway = ServingGateway(server, max_queue=max_queue,
+                                 max_batch_size=p["serve_batch"],
+                                 auto_drain=False)
+        for i, episode in enumerate(episodes):
+            gateway.open_session(f"tenant-{i}", f"session-{i}", episode,
+                                 priority=classes[i % len(classes)])
+        shed = 0
+        offered = 0
+        for round_id in range(rounds):
+            for offset in range(per_round):
+                q = round_id * per_round + offset
+                for i, episode in enumerate(episodes):
+                    offered += 1
+                    outcome = gateway.submit_nowait(f"session-{i}",
+                                                    episode.queries[q])
+                    shed += isinstance(outcome, Overloaded)
+            await gateway.flush()
+        await gateway.flush()
+        stats = gateway.stats
+        interactive_p95 = max(
+            (t.wait_p95_s for t in stats.tenants
+             if t.priority == Priority.INTERACTIVE), default=0.0)
+        misses = sum(t.deadline_misses for t in stats.tenants)
+        await gateway.close()
+        return {
+            "offered": offered,
+            "shed": shed,
+            "shed_rate": shed / offered if offered else 0.0,
+            "interactive_wait_p95_ms": 1000.0 * interactive_p95,
+            "deadline_misses": misses,
+            "max_queue": max_queue,
+        }
+
+    out["gateway_overload"] = asyncio.run(overload())
+    return out
+
+
 def run_benchmarks(profile: str = "full") -> dict:
     """Run every hot-path benchmark; returns the JSON-ready result dict."""
     if profile not in PROFILES:
@@ -495,6 +615,8 @@ def run_benchmarks(profile: str = "full") -> dict:
         benchmarks.update(_shard_benchmarks(p))
     elif profile == "mutate":
         benchmarks.update(_mutation_benchmarks(p))
+    elif profile == "gateway":
+        benchmarks.update(_gateway_benchmarks(p))
     else:
         graph = _benchmark_graph(p)
         benchmarks.update(_sampling_benchmarks(p))

@@ -15,22 +15,47 @@ pipeline:
   ``num_shards``/``num_workers``: partitions the graph
   (:mod:`repro.shard`), fans each micro-batch out per shard to a process
   worker pool, and merges rows back in submission order — bit-identical
-  results, horizontal throughput.
+  results, horizontal throughput;
+* :class:`ServingGateway` (:mod:`repro.serving.gateway`) — the async
+  multi-tenant front door: per-tenant rate limiting and quotas, a bounded
+  admission queue with class-aware load shedding (typed
+  :class:`Overloaded` rejections, never a hang), deadline-aware priority
+  batching (:mod:`repro.serving.qos`), and graceful drain around graph
+  updates and model hot swaps.
 """
 
+from .gateway import GatewayResult, ServingGateway
+from .qos import (
+    AdmissionController,
+    DeadlineAwareScheduler,
+    Overloaded,
+    Priority,
+    TenantLedger,
+    TenantStats,
+    TokenBucket,
+)
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
 from .server import PromptServer, ServeResult, ServerStats
 from .session import SessionState, SessionStats, SessionStore
 
 __all__ = [
+    "AdmissionController",
+    "DeadlineAwareScheduler",
+    "GatewayResult",
     "MicroBatchScheduler",
+    "Overloaded",
     "PendingRequest",
+    "Priority",
     "PromptServer",
     "ServeResult",
     "ServerStats",
+    "ServingGateway",
     "ShardRouter",
     "SessionState",
     "SessionStats",
     "SessionStore",
+    "TenantLedger",
+    "TenantStats",
+    "TokenBucket",
 ]

@@ -1,0 +1,399 @@
+"""Quality-of-service primitives for the multi-tenant serving gateway.
+
+The serving layer below this module (:class:`~repro.serving.PromptServer`)
+is single-tenant and trusting: every submitted query is queued, every queue
+is unbounded, and the drain policy knows only batch size and wall-clock
+age.  Production prompt-serving traffic is neither single-tenant nor
+polite — it is bursty, heterogeneous across tasks, and overload is a
+when-not-if — so the gateway needs the classic QoS vocabulary, which this
+module provides as small deterministic pieces:
+
+* :class:`Priority` — interactive / batch / background request classes,
+  each with its own deadline budget;
+* :class:`TokenBucket` — per-tenant rate limiting (sustained QPS + burst);
+* :class:`AdmissionController` — bounded admission with class-aware load
+  shedding: lower classes are refused while queue occupancy is high so
+  that interactive traffic keeps its latency under overload;
+* :class:`Overloaded` — the *typed* rejection every shed request gets
+  immediately (a shed request never hangs and never raises);
+* :class:`TenantLedger` / :class:`TenantStats` — per-tenant accounting:
+  admitted/shed counts, QPS, queue-wait percentiles, deadline misses, and
+  the per-shard work (requests, halo fetches) attributed to the tenant;
+* :class:`DeadlineAwareScheduler` — a :class:`MicroBatchScheduler` whose
+  release policy also fires when the oldest request has spent its
+  configured fraction of deadline budget *waiting*, so shallow queues
+  flush early enough to leave service time before the deadline.
+
+Everything takes an injectable ``clock`` and draws no hidden randomness,
+so admission and shedding decisions replay exactly under a seeded burst
+schedule — the property ``tests/test_gateway.py`` pins.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from .scheduler import MicroBatchScheduler
+
+__all__ = [
+    "Priority",
+    "TokenBucket",
+    "Overloaded",
+    "AdmissionController",
+    "TenantLedger",
+    "TenantStats",
+    "DeadlineAwareScheduler",
+    "SHED_QUEUE_FRACTIONS",
+]
+
+
+class Priority(IntEnum):
+    """Request class, ordered best-first (lower value = more urgent)."""
+
+    INTERACTIVE = 0
+    BATCH = 1
+    BACKGROUND = 2
+
+
+#: Fraction of the admission-queue bound each class may fill before it is
+#: shed.  Interactive may use the whole queue; batch is refused once the
+#: queue is half full; background once it is a quarter full.  The gaps are
+#: what keeps interactive latency bounded under overload: by the time the
+#: queue could delay an interactive request, lower classes are already
+#: being turned away.
+SHED_QUEUE_FRACTIONS = {
+    Priority.INTERACTIVE: 1.0,
+    Priority.BATCH: 0.5,
+    Priority.BACKGROUND: 0.25,
+}
+
+#: ``Overloaded.reason`` values.
+SHED_QUEUE_FULL = "queue-full"
+SHED_RATE_LIMITED = "rate-limited"
+SHED_QUOTA_EXHAUSTED = "quota-exhausted"
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Typed load-shed result: the request was refused, not queued.
+
+    Returned synchronously from admission — a shed request resolves
+    immediately with this (never a hang, never an exception), carrying
+    enough context for the caller to back off and retry.
+    """
+
+    tenant_id: str
+    session_id: str
+    priority: Priority
+    reason: str
+    #: Suggested back-off: time until the shedding condition can clear
+    #: (token-bucket refill time, or one flush interval for a full queue).
+    retry_after_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+class TokenBucket:
+    """Standard token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    ``rate <= 0`` disables the limiter (every acquire succeeds) — the
+    config's "unlimited" spelling.  Time comes from the injected ``clock``
+    so refill is exact under test-controlled time.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after refilling to now)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = max(now - self._refilled_at, 0.0)
+        self._refilled_at = now
+        if self.rate > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; never blocks."""
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    def seconds_until(self, cost: float = 1.0) -> float:
+        """Time until ``cost`` tokens will have refilled (0 if ready)."""
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        deficit = cost - self._tokens
+        return max(deficit, 0.0) / self.rate
+
+
+@dataclass
+class TenantLedger:
+    """Mutable per-tenant accounting the gateway updates in place.
+
+    Queue waits are kept in a bounded ring (newest ``wait_window`` waits)
+    so a long-running gateway's percentile snapshots track recent
+    behaviour without unbounded growth.
+    """
+
+    tenant_id: str
+    priority: Priority = Priority.INTERACTIVE
+    wait_window: int = 4096
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    #: Admitted requests that came back with a gateway/server error
+    #: (e.g. ``session-expired``) — counted apart from ``completed`` so
+    #: an all-failures tenant cannot look healthy in the stats.
+    errors: int = 0
+    shed_rate_limited: int = 0
+    shed_queue_full: int = 0
+    shed_quota: int = 0
+    deadline_misses: int = 0
+    tokens_consumed: float = 0.0
+    #: Per-shard work attributed to this tenant's queries (proportional
+    #: share of each micro-batch's shard-counter deltas).
+    shard_requests: float = 0.0
+    halo_fetches: float = 0.0
+    first_submit_at: float | None = None
+    last_complete_at: float | None = None
+    _waits: list = field(default_factory=list, repr=False)
+
+    @property
+    def shed(self) -> int:
+        return self.shed_rate_limited + self.shed_queue_full + self.shed_quota
+
+    def record_submit(self, now: float) -> None:
+        self.submitted += 1
+        if self.first_submit_at is None:
+            self.first_submit_at = now
+
+    def record_shed(self, reason: str) -> None:
+        if reason == SHED_RATE_LIMITED:
+            self.shed_rate_limited += 1
+        elif reason == SHED_QUOTA_EXHAUSTED:
+            self.shed_quota += 1
+        else:
+            self.shed_queue_full += 1
+
+    def record_complete(self, wait_s: float, missed_deadline: bool,
+                        now: float) -> None:
+        self.completed += 1
+        self.deadline_misses += int(missed_deadline)
+        self.last_complete_at = now
+        self._waits.append(wait_s)
+        if len(self._waits) > self.wait_window:
+            del self._waits[:len(self._waits) - self.wait_window]
+
+    def record_error(self, now: float) -> None:
+        """An admitted request failed (not shed, not a success).
+
+        Errors stay out of the wait percentiles and the completed/QPS
+        ledger — they count separately so per-tenant failure is visible.
+        """
+        self.errors += 1
+        self.last_complete_at = now
+
+    def snapshot(self) -> "TenantStats":
+        """Immutable stats view (QPS over first-submit → last-complete)."""
+        if self._waits:
+            p50, p95 = np.percentile(np.asarray(self._waits), [50, 95])
+        else:
+            p50 = p95 = 0.0
+        elapsed = 0.0
+        if self.first_submit_at is not None \
+                and self.last_complete_at is not None:
+            elapsed = max(self.last_complete_at - self.first_submit_at, 0.0)
+        qps = self.completed / elapsed if elapsed > 0 else 0.0
+        shed_rate = self.shed / self.submitted if self.submitted else 0.0
+        return TenantStats(
+            tenant_id=self.tenant_id, priority=self.priority,
+            submitted=self.submitted, admitted=self.admitted,
+            completed=self.completed, errors=self.errors, shed=self.shed,
+            shed_rate_limited=self.shed_rate_limited,
+            shed_queue_full=self.shed_queue_full,
+            shed_quota=self.shed_quota, shed_rate=shed_rate, qps=qps,
+            wait_p50_s=float(p50), wait_p95_s=float(p95),
+            deadline_misses=self.deadline_misses,
+            tokens_consumed=self.tokens_consumed,
+            shard_requests=self.shard_requests,
+            halo_fetches=self.halo_fetches)
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Frozen per-tenant QoS snapshot, surfaced via ``ServerStats``."""
+
+    tenant_id: str
+    priority: Priority
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    shed: int = 0
+    shed_rate_limited: int = 0
+    shed_queue_full: int = 0
+    shed_quota: int = 0
+    shed_rate: float = 0.0
+    qps: float = 0.0
+    wait_p50_s: float = 0.0
+    wait_p95_s: float = 0.0
+    deadline_misses: int = 0
+    tokens_consumed: float = 0.0
+    shard_requests: float = 0.0
+    halo_fetches: float = 0.0
+
+
+class AdmissionController:
+    """Bounded, class-aware, per-tenant-rate-limited admission.
+
+    One decision per request, strictly in this order:
+
+    1. **Quota** — a tenant with an exhausted absolute query quota is
+       refused (``quota-exhausted``); 0 means unlimited.
+    2. **Occupancy** — the request's class must still fit under its
+       fraction of ``max_queue`` (``queue-full``): interactive may fill
+       the whole queue, batch half, background a quarter
+       (:data:`SHED_QUEUE_FRACTIONS`).  Checked *before* the token
+       bucket so a shed-by-occupancy request never burns the tenant's
+       rate budget.
+    3. **Rate** — the tenant's token bucket must yield a token
+       (``rate-limited``); rate 0 means unlimited.
+
+    The controller is pure bookkeeping — it never touches the queues —
+    so decisions are a deterministic function of (schedule, clock).
+    """
+
+    def __init__(self, max_queue: int, tenant_rate_qps: float = 0.0,
+                 tenant_burst: float = 16.0, tenant_quota: int = 0,
+                 shed_fractions: dict | None = None, clock=time.monotonic):
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if tenant_quota < 0:
+            raise ValueError("tenant_quota must be non-negative")
+        self.max_queue = max_queue
+        self.tenant_rate_qps = float(tenant_rate_qps)
+        self.tenant_burst = float(tenant_burst)
+        self.tenant_quota = int(tenant_quota)
+        self.shed_fractions = dict(shed_fractions or SHED_QUEUE_FRACTIONS)
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admitted: dict[str, int] = {}
+
+    def bucket(self, tenant_id: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant_id)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_rate_qps, self.tenant_burst,
+                                 clock=self.clock)
+            self._buckets[tenant_id] = bucket
+        return bucket
+
+    def class_capacity(self, priority: Priority) -> int:
+        """Queue slots ``priority`` may occupy (at least 1)."""
+        fraction = self.shed_fractions.get(priority, 1.0)
+        return max(int(self.max_queue * fraction), 1)
+
+    def admit(self, tenant_id: str, priority: Priority,
+              queued_now: int) -> str | None:
+        """Decide one request; returns ``None`` (admit) or a shed reason.
+
+        ``queued_now`` is the gateway's current total queue occupancy
+        across all classes.
+        """
+        quota = self.tenant_quota
+        if quota and self._admitted.get(tenant_id, 0) >= quota:
+            return SHED_QUOTA_EXHAUSTED
+        bucket = self.bucket(tenant_id)
+        if queued_now >= self.class_capacity(priority):
+            # Occupancy is checked before the token is spent so a shed
+            # request does not also burn the tenant's rate budget.
+            return SHED_QUEUE_FULL
+        if not bucket.try_acquire():
+            return SHED_RATE_LIMITED
+        self._admitted[tenant_id] = self._admitted.get(tenant_id, 0) + 1
+        return None
+
+    def retry_after(self, tenant_id: str, reason: str,
+                    flush_hint_s: float = 0.0) -> float:
+        """Back-off suggestion for a shed decision."""
+        if reason == SHED_RATE_LIMITED:
+            return self.bucket(tenant_id).seconds_until()
+        if reason == SHED_QUEUE_FULL:
+            return flush_hint_s
+        return float("inf")  # quota never refills by waiting
+
+
+class DeadlineAwareScheduler(MicroBatchScheduler):
+    """Micro-batch release that also respects per-request deadlines.
+
+    The base policy releases on ``max_batch_size`` or ``max_wait_s``.
+    Under light load a shallow queue can sit for the whole ``max_wait_s``
+    even when its oldest request is about to blow its deadline — so this
+    subclass additionally releases once the oldest pending request has
+    spent ``flush_fraction`` of its *deadline budget* (submit → deadline)
+    waiting, leaving the remaining fraction for actual service.  Requests
+    without a deadline fall back to the base policy unchanged — with
+    ``flush_fraction=1.0`` and deadline == submit + max_wait the two
+    policies are identical, which the equivalence test pins.
+    """
+
+    def __init__(self, max_batch_size: int = 16, max_wait_s: float = 0.0,
+                 flush_fraction: float = 0.5, clock=time.monotonic):
+        if not 0.0 < flush_fraction <= 1.0:
+            raise ValueError("flush_fraction must be in (0, 1]")
+        super().__init__(max_batch_size=max_batch_size,
+                         max_wait_s=max_wait_s, clock=clock)
+        self.flush_fraction = flush_fraction
+
+    def _deadline_flush_at(self) -> float | None:
+        """Absolute time the oldest request forces a deadline flush."""
+        if not self._queue:
+            return None
+        oldest = self._queue[0]
+        if oldest.deadline is None:
+            return None
+        budget = max(oldest.deadline - oldest.submitted_at, 0.0)
+        return oldest.submitted_at + self.flush_fraction * budget
+
+    def next_flush_at(self) -> float | None:
+        """Earliest absolute time a waiting batch will self-release.
+
+        ``None`` when the queue is empty.  The gateway's drain loop uses
+        this to sleep exactly until the next forced flush instead of
+        polling.
+        """
+        if not self._queue:
+            return None
+        wait_flush = self._queue[0].submitted_at + self.max_wait_s
+        deadline_flush = self._deadline_flush_at()
+        if deadline_flush is None:
+            return wait_flush
+        return min(wait_flush, deadline_flush)
+
+    def ready(self) -> bool:
+        if super().ready():
+            return True
+        deadline_flush = self._deadline_flush_at()
+        return (deadline_flush is not None
+                and self.clock() >= deadline_flush)

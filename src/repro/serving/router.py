@@ -116,11 +116,28 @@ class ShardRouter:
         """
         self.store.apply_updates(applied)
         if self.pool is not None and self.pool.backend == "process":
-            self.pool.close()
-            self.pool = WorkerPool(_build_worker_context,
-                                   initargs=self._initargs,
-                                   num_workers=self._num_workers,
-                                   backend=self._requested_backend)
+            self._respawn_pool()
+
+    def reload_model(self, model: GraphPrompterModel) -> None:
+        """Swap in new model weights for every worker replica.
+
+        Worker contexts were initialized from a pickled state dict, so a
+        hot model reload must rebuild the initargs and respawn the pool —
+        serial contexts too: their replica was built once at pool
+        construction and would otherwise keep serving the old weights.
+        """
+        graph_args = self._initargs[2:4]  # feature_dim, num_relations
+        self._initargs = (self.store, model.config, *graph_args,
+                          model.state_dict())
+        self._respawn_pool()
+
+    def _respawn_pool(self) -> None:
+        """Tear down the pool and rebuild workers from ``_initargs``."""
+        self.pool.close()
+        self.pool = WorkerPool(_build_worker_context,
+                               initargs=self._initargs,
+                               num_workers=self._num_workers,
+                               backend=self._requested_backend)
 
     @property
     def backend(self) -> str:

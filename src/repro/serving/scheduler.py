@@ -29,12 +29,20 @@ __all__ = ["PendingRequest", "MicroBatchScheduler"]
 
 @dataclass(frozen=True)
 class PendingRequest:
-    """One enqueued query waiting for a micro-batch slot."""
+    """One enqueued query waiting for a micro-batch slot.
+
+    ``deadline`` is an absolute clock time by which the caller wants the
+    answer; ``None`` (the default, and what the plain server submits)
+    means the request only participates in the base size/age release
+    policy.  The gateway's :class:`~repro.serving.qos.DeadlineAwareScheduler`
+    uses it to flush shallow queues before the budget is gone.
+    """
 
     request_id: int
     session_id: str
     datapoint: Datapoint
     submitted_at: float
+    deadline: float | None = None
 
 
 class MicroBatchScheduler:
@@ -61,13 +69,15 @@ class MicroBatchScheduler:
     def __len__(self) -> int:
         return len(self._queue)
 
-    def submit(self, session_id: str, datapoint: Datapoint) -> int:
+    def submit(self, session_id: str, datapoint: Datapoint,
+               deadline: float | None = None) -> int:
         """Enqueue one query; returns its ticket (request id)."""
         request_id = self._next_request_id
         self._next_request_id += 1
         self._queue.append(PendingRequest(
             request_id=request_id, session_id=session_id,
-            datapoint=datapoint, submitted_at=self.clock()))
+            datapoint=datapoint, submitted_at=self.clock(),
+            deadline=deadline))
         return request_id
 
     def ready(self) -> bool:

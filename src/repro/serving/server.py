@@ -92,6 +92,11 @@ class ServerStats:
     sessions_evicted: int = 0
     sessions_expired: int = 0
     shards: tuple[ShardCounters, ...] = ()
+    #: Per-tenant QoS ledgers (admitted/shed counts, QPS, queue-wait
+    #: percentiles, deadline misses, attributed shard work).  Filled by
+    #: :class:`~repro.serving.ServingGateway`; empty when the server is
+    #: driven directly.
+    tenants: tuple = ()
     #: Live-update ledger: current graph epoch, update batches applied,
     #: sessions marked stale by an update, and cache entries the live
     #: sessions' Augmenters dropped as graph-stale (capacity evictions
@@ -284,6 +289,26 @@ class PromptServer:
                 self._sessions_invalidated += 1
         self._graph_updates += 1
         return applied
+
+    def reload_model(self, state_dict: dict) -> None:
+        """Swap in new model weights and re-anchor every live session.
+
+        Order matters: weights load in place (the pipeline shares the
+        model object), worker-pool replicas respawn from the new state
+        dict (they were built from a pickle of the old one — the serial
+        backend's context too), and then every open session re-anchors
+        (pool re-encoded under the new weights, Augmenter cache purged)
+        so no later prediction mixes old-weight state with new weights.
+        Callers coordinating with in-flight traffic drain first — the
+        gateway's :meth:`~repro.serving.ServingGateway.reload_model`
+        does exactly that.
+        """
+        self.model.load_state_dict(state_dict)
+        self.model.eval()
+        if self.router is not None:
+            self.router.reload_model(self.model)
+        for state in self.sessions.states():
+            self._refresh_session(state)
 
     def _refresh_session(self, session: SessionState) -> None:
         """Re-anchor a stale session to the current graph epoch."""

@@ -1,7 +1,5 @@
 """Tests for the command-line experiment runner."""
 
-import pytest
-
 import repro.cli
 from repro.cli import EXPERIMENTS, build_parser, main
 from repro.experiments import TableResult

@@ -216,7 +216,7 @@ class TestPretrainer:
         seen = []
         Pretrainer(model, ds,
                    PretrainConfig(steps=4, num_ways=3, log_every=2),
-                   rng=0).train(lambda s, l, a: seen.append(s))
+                   rng=0).train(lambda step, loss, acc: seen.append(step))
         assert seen  # at least one log point
 
 

@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.cli import main as cli_main
@@ -64,7 +63,7 @@ class TestRunBenchmarks:
 
     def test_profiles_cover_expected_scales(self):
         assert set(PROFILES) == {"full", "quick", "smoke", "shard",
-                                 "mutate"}
+                                 "mutate", "gateway"}
         assert (PROFILES["full"]["sample_edges"]
                 > PROFILES["quick"]["sample_edges"]
                 > PROFILES["smoke"]["sample_edges"])

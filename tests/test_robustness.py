@@ -181,7 +181,6 @@ class TestSelectorPathologies:
         cfg = trained_model.config
         selector = PromptSelector(cfg, rng=0)
         candidates = np.random.default_rng(0).normal(size=(6, 4)) * 1e12
-        labels = np.repeat(np.arange(2), 3)
         queries = np.random.default_rng(1).normal(size=(2, 4)) * 1e-12
         scores = selector.scores(candidates, np.ones(6), queries, np.ones(2))
         assert np.all(np.isfinite(scores))
