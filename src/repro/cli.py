@@ -82,7 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'list', or 'bench'",
+        help="experiment id (see 'list'), 'all', 'list', 'bench', "
+             "or 'metrics'",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -107,12 +108,20 @@ def main(argv: list[str] | None = None) -> int:
         from .perf import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        # Observability driver (own flags, see 'repro metrics -h'): runs
+        # an instrumented burst and prints Prometheus text exposition.
+        from .obs.cli import metrics_main
+
+        return metrics_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
         entries = dict(EXPERIMENTS)
         entries["bench"] = (None,
                             "hot-path microbenchmarks + perf-regression check")
+        entries["metrics"] = (None,
+                              "instrumented burst -> Prometheus exposition")
         width = max(len(name) for name in entries)
         for name in sorted(entries):
             print(f"  {name:<{width}}  {entries[name][1]}")

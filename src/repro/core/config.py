@@ -125,6 +125,20 @@ class GraphPrompterConfig:
         Overlay fraction (tombstoned + delta slots relative to live
         slots) above which a mutated graph folds its overlays back into
         clean CSR bases.  Only consulted when ``mutable_graph`` is on.
+    obs_metrics_enabled:
+        Record serving-layer metrics into the ambient
+        :class:`~repro.obs.MetricsRegistry` (near-zero-cost hot-path
+        instruments plus scrape-time ledger mirrors).  ``False`` gives
+        the server a disabled registry: every record path short-circuits
+        after one branch.
+    obs_trace_every:
+        Deterministic request-trace sampling rate for the serving
+        gateway: every N-th submitted request carries a
+        :class:`~repro.obs.TraceContext` collecting per-stage spans
+        (admission, queue wait, encode, shard fan-out, predict, total).
+        0 (the default) disables tracing; any N is safe to leave on —
+        sampling is counter-based (no RNG), so traced runs stay
+        bit-identical to untraced ones.
     """
 
     hidden_dim: int = 32
@@ -162,6 +176,8 @@ class GraphPrompterConfig:
     gateway_deadline_interactive_s: float = 0.05
     gateway_deadline_batch_s: float = 0.5
     gateway_deadline_background_s: float = 5.0
+    obs_metrics_enabled: bool = True
+    obs_trace_every: int = 0
     seed: int = 0
 
     def validate(self) -> "GraphPrompterConfig":
@@ -215,6 +231,8 @@ class GraphPrompterConfig:
                      "gateway_deadline_background_s"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.obs_trace_every < 0:
+            raise ValueError("obs_trace_every must be non-negative")
         return self
 
     def ablate(self, **flags) -> "GraphPrompterConfig":

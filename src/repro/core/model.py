@@ -21,6 +21,7 @@ import numpy as np
 from ..gnn import DataGraphEncoder, SubgraphBatch, TaskGraphGNN, scatter_mean
 from ..nn import Linear, MLP, Module, Tensor
 from ..nn import functional as F
+from ..obs.tracing import span
 from .config import GraphPrompterConfig
 from .task_graph import build_task_graph
 
@@ -126,10 +127,11 @@ class GraphPrompterModel(Module):
 
     def encode_batch(self, batch: SubgraphBatch) -> Tensor:
         """Subgraph embeddings ``G_i`` (Eq. 4), reconstructed when enabled."""
-        weights = None
-        if self.config.use_reconstruction:
-            weights = self.reconstruction_weights(batch)
-        return self.encoder(batch, edge_weights=weights)
+        with span("forward"):
+            weights = None
+            if self.config.use_reconstruction:
+                weights = self.reconstruction_weights(batch)
+            return self.encoder(batch, edge_weights=weights)
 
     def encode_subgraphs(self, subgraphs: list, arena=None) -> Tensor:
         """Batch a list of subgraphs and encode it.

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..graph import Graph, Subgraph, sample_data_graph
 from ..graph.datapoints import Datapoint
+from ..obs.tracing import span
 from .config import GraphPrompterConfig
 
 __all__ = ["PromptGenerator"]
@@ -61,4 +62,5 @@ class PromptGenerator:
 
     def subgraphs_for(self, datapoints: list[Datapoint]) -> list[Subgraph]:
         """Sample data graphs for a list of datapoints."""
-        return [self.subgraph_for(dp) for dp in datapoints]
+        with span("sample"):
+            return [self.subgraph_for(dp) for dp in datapoints]

@@ -32,7 +32,13 @@ import asyncio
 import time
 
 from ..core import GraphPrompterModel, sample_episode
+from ..obs import MetricsRegistry
 from ..serving import Overloaded, Priority, PromptServer, ServingGateway
+from ..serving.qos import (
+    SHED_QUEUE_FULL,
+    SHED_QUOTA_EXHAUSTED,
+    SHED_RATE_LIMITED,
+)
 from .common import ExperimentContext, TableResult, default_config
 
 __all__ = ["serve_bench_gateway", "serve_gateway_demo"]
@@ -201,8 +207,13 @@ def serve_bench_gateway(context: ExperimentContext,
         # an admission queue sized to half of that: 2×-capacity overload.
         max_queue = max(num_sessions * per_round // 2, 4)
         server = PromptServer(model, dataset, rng=seed)
+        # A private registry for this phase: its live shed counters are
+        # the source of the per-reason breakdown below, so they must not
+        # mix with phase A's (or any ambient) counts.
+        registry = MetricsRegistry()
         gateway = ServingGateway(server, max_queue=max_queue,
-                                 max_batch_size=8, auto_drain=False)
+                                 max_batch_size=8, auto_drain=False,
+                                 registry=registry)
         for tenant_id, priority, session_id, episode in plan:
             gateway.open_session(tenant_id, session_id, episode,
                                  priority=priority)
@@ -230,6 +241,21 @@ def serve_bench_gateway(context: ExperimentContext,
                 f"exceeded the {interactive_budget_s * 1e3:.0f}ms deadline "
                 f"budget under overload — priority drain failed to bound "
                 f"latency")
+        # Per-reason shed breakdown from the live registry counters (the
+        # observability layer's view of the same events the ledgers
+        # aggregate) — and a consistency check that the two agree.
+        shed_counter = registry.counter("repro_gateway_shed_total")
+        shed_reasons = {
+            reason: int(shed_counter.sum(reason=reason))
+            for reason in (SHED_QUOTA_EXHAUSTED, SHED_RATE_LIMITED,
+                           SHED_QUEUE_FULL)
+        }
+        shed_total = sum(t.shed for t in stats.tenants)
+        if sum(shed_reasons.values()) != shed_total:
+            raise RuntimeError(
+                f"shed-reason breakdown {shed_reasons} does not sum to "
+                f"the ledger shed total {shed_total} — registry counters "
+                f"and tenant ledgers disagree")
         tenant_rows("2x-overload", stats, len(admitted) / elapsed)
         data["phases"]["2x-overload"].update({
             "identical": True, "max_queue": max_queue,
@@ -237,7 +263,8 @@ def serve_bench_gateway(context: ExperimentContext,
             "admitted": len(admitted),
             "interactive_wait_p95_s": worst_wait,
             "interactive_budget_s": interactive_budget_s,
-            "shed_total": sum(t.shed for t in stats.tenants),
+            "shed_total": shed_total,
+            "shed_reasons": shed_reasons,
         })
         await gateway.close()
 
@@ -247,6 +274,11 @@ def serve_bench_gateway(context: ExperimentContext,
     rows.append(["2x-overload", "(total)", "-", offered,
                  data["phases"]["2x-overload"]["admitted"], shed, "-", "-",
                  "identical: yes"])
+    breakdown = data["phases"]["2x-overload"]["shed_reasons"]
+    rows.append(["2x-overload", "(shed reasons)", "-", "-", "-", shed,
+                 "-", "-",
+                 " ".join(f"{reason}={count}"
+                          for reason, count in breakdown.items())])
     return TableResult(
         title=(f"serve-bench-gateway: {len(TENANT_MIX)} tenants / "
                f"{sum(s for _, _, s in TENANT_MIX)} sessions × "

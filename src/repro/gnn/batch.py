@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.subgraph import Subgraph
+from ..obs.tracing import span
 
 __all__ = ["SubgraphBatch", "BatchArena"]
 
@@ -107,6 +108,12 @@ class SubgraphBatch:
         arrays are freshly allocated.  Either way the result is byte-
         identical to :meth:`from_subgraphs_concat`.
         """
+        with span("batch_assembly"):
+            return cls._from_subgraphs_impl(subgraphs, arena)
+
+    @classmethod
+    def _from_subgraphs_impl(cls, subgraphs: list[Subgraph],
+                             arena: BatchArena | None) -> "SubgraphBatch":
         n = len(subgraphs)
         if n == 0:
             raise ValueError("cannot batch zero subgraphs")

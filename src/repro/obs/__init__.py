@@ -1,0 +1,62 @@
+"""Unified observability: metrics registry, tracing, Prometheus export.
+
+One substrate for every signal the stack emits (ROADMAP item 5):
+
+* :mod:`repro.obs.metrics` — typed Counter/Gauge/Histogram instruments in
+  a thread-safe :class:`MetricsRegistry`; fixed log-scale buckets make
+  histograms mergeable across shard worker processes, and a disabled
+  registry costs one branch per event.
+* :mod:`repro.obs.tracing` — :class:`TraceContext` per-stage spans with
+  deterministic 1-in-N sampling (no RNG: traced runs stay bit-identical
+  to untraced ones) and the :func:`span` profiling hook the sampler,
+  batcher, fused forward, and shard fan-out all share.
+* :mod:`repro.obs.exposition` — Prometheus text-exposition writer.
+* :mod:`repro.obs.bridge` — scrape-time mirrors of the legacy ledgers
+  (``ServerStats``/``TenantLedger``/``CacheStats``) into the registry,
+  plus :func:`scrape` for one-call gateway/server exposition.
+* :mod:`repro.obs.httpd` — optional stdlib ``GET /metrics`` endpoint.
+
+``repro metrics`` (:mod:`repro.obs.cli`) demos the whole layer against a
+synthetic burst; the serving gateway exposes the same text via
+:meth:`~repro.serving.ServingGateway.start_metrics_endpoint`.
+"""
+
+from .bridge import collect, export_sessions, export_stats, scrape
+from .exposition import escape_label_value, render
+from .httpd import MetricsEndpoint
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+    set_global_registry,
+)
+from .tracing import Span, TraceContext, Tracer, batch_scope, span
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsEndpoint",
+    "MetricsRegistry",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "batch_scope",
+    "collect",
+    "escape_label_value",
+    "export_sessions",
+    "export_stats",
+    "get_registry",
+    "render",
+    "scoped_registry",
+    "scrape",
+    "set_global_registry",
+    "span",
+]

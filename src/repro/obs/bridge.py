@@ -1,0 +1,164 @@
+"""Bridge collectors: legacy ledgers re-expressed as registry instruments.
+
+The serving stack predates the registry and keeps its own typed ledgers —
+:class:`~repro.serving.ServerStats` (server + per-shard counters),
+:class:`~repro.serving.TenantStats` (per-tenant QoS), and the per-session
+Augmenter :class:`~repro.cache.stats.CacheStats`.  Those surfaces stay
+exactly as they are (tests and callers read them as views); this module
+*mirrors* them into registry counters and gauges at scrape time, so one
+Prometheus exposition covers every layer without double bookkeeping in
+any hot path.
+
+Everything here is duck-typed on the stats dataclasses' attributes, so
+the obs package never imports the serving package (which imports obs) —
+the dependency points one way.
+"""
+
+from __future__ import annotations
+
+from .exposition import render
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["export_stats", "export_sessions", "collect", "scrape"]
+
+
+def export_stats(stats, registry: MetricsRegistry) -> None:
+    """Mirror a ``ServerStats`` snapshot (shards + tenants included)."""
+    counter, gauge = registry.counter, registry.gauge
+    counter("repro_server_queries_total",
+            "Queries answered by the server.").set(stats.queries)
+    counter("repro_server_batches_total",
+            "Micro-batches the server has processed.").set(stats.batches)
+    counter("repro_server_encoded_subgraphs_total",
+            "Subgraphs encoded across all micro-batches."
+            ).set(stats.encoded_subgraphs)
+    counter("repro_sessions_opened_total",
+            "Sessions opened over the server lifetime."
+            ).set(stats.sessions_opened)
+    counter("repro_sessions_evicted_total",
+            "Sessions evicted by the LRU bound.").set(stats.sessions_evicted)
+    counter("repro_sessions_expired_total",
+            "Sessions expired by the idle TTL.").set(stats.sessions_expired)
+    gauge("repro_graph_version",
+          "Current graph epoch (live-update counter)."
+          ).set(stats.graph_version)
+    counter("repro_graph_updates_total",
+            "Live graph mutation batches applied.").set(stats.graph_updates)
+    counter("repro_sessions_invalidated_total",
+            "Sessions marked stale by a graph mutation."
+            ).set(stats.sessions_invalidated)
+    counter("repro_cache_stale_evictions_total",
+            "Augmenter cache entries dropped as graph-stale."
+            ).set(stats.stale_evictions)
+
+    shard_labels = ("shard",)
+    requests = counter("repro_shard_requests_total",
+                       "Datapoints routed to each shard.", shard_labels)
+    halo = counter("repro_shard_halo_fetches_total",
+                   "Cross-shard ghost-row fetches per shard.", shard_labels)
+    busy = counter("repro_shard_worker_busy_seconds_total",
+                   "Worker seconds spent on each shard's tasks.",
+                   shard_labels)
+    for counters in stats.shards:
+        shard = str(counters.shard_id)
+        requests.set(counters.requests, shard=shard)
+        halo.set(counters.halo_fetches, shard=shard)
+        busy.set(counters.worker_busy_s, shard=shard)
+
+    tenant_labels = ("tenant", "priority")
+    submitted = counter("repro_tenant_submitted_total",
+                        "Requests each tenant submitted.", tenant_labels)
+    admitted = counter("repro_tenant_admitted_total",
+                       "Requests each tenant had admitted.", tenant_labels)
+    completed = counter("repro_tenant_completed_total",
+                        "Requests completed per tenant.", tenant_labels)
+    errors = counter("repro_tenant_errors_total",
+                     "Admitted requests that failed, per tenant.",
+                     tenant_labels)
+    shed = counter("repro_tenant_shed_total",
+                   "Requests shed at admission, per tenant and reason.",
+                   ("tenant", "priority", "reason"))
+    misses = counter("repro_tenant_deadline_misses_total",
+                     "Completed requests that missed their deadline.",
+                     tenant_labels)
+    qps = gauge("repro_tenant_qps",
+                "Completed-request throughput per tenant.", tenant_labels)
+    wait_p50 = gauge("repro_tenant_wait_p50_seconds",
+                     "Median queue wait per tenant (recent window).",
+                     tenant_labels)
+    wait_p95 = gauge("repro_tenant_wait_p95_seconds",
+                     "p95 queue wait per tenant (recent window).",
+                     tenant_labels)
+    for tenant in stats.tenants:
+        labels = dict(tenant=tenant.tenant_id,
+                      priority=tenant.priority.name.lower())
+        submitted.set(tenant.submitted, **labels)
+        admitted.set(tenant.admitted, **labels)
+        completed.set(tenant.completed, **labels)
+        errors.set(tenant.errors, **labels)
+        misses.set(tenant.deadline_misses, **labels)
+        qps.set(tenant.qps, **labels)
+        wait_p50.set(tenant.wait_p50_s, **labels)
+        wait_p95.set(tenant.wait_p95_s, **labels)
+        shed.set(tenant.shed_queue_full, reason="queue-full", **labels)
+        shed.set(tenant.shed_rate_limited, reason="rate-limited", **labels)
+        shed.set(tenant.shed_quota, reason="quota-exhausted", **labels)
+
+
+def export_sessions(server, registry: MetricsRegistry) -> None:
+    """Aggregate the live sessions' ``CacheStats`` into the registry."""
+    gauge, counter = registry.gauge, registry.counter
+    states = server.sessions.states()
+    gauge("repro_sessions_live",
+          "Sessions currently resident in the store.").set(len(states))
+    totals = dict(hits=0, misses=0, insertions=0, evictions=0, size=0,
+                  capacity=0)
+    for state in states:
+        stats = state.cache_stats()
+        totals["hits"] += stats.hits
+        totals["misses"] += stats.misses
+        totals["insertions"] += stats.insertions
+        totals["evictions"] += stats.evictions
+        totals["size"] += stats.size
+        totals["capacity"] += stats.capacity
+    counter("repro_session_cache_hits_total",
+            "Augmenter cache hits across live sessions."
+            ).set(totals["hits"])
+    counter("repro_session_cache_misses_total",
+            "Augmenter cache misses across live sessions."
+            ).set(totals["misses"])
+    counter("repro_session_cache_insertions_total",
+            "Augmenter cache insertions across live sessions."
+            ).set(totals["insertions"])
+    counter("repro_session_cache_evictions_total",
+            "Augmenter capacity evictions across live sessions."
+            ).set(totals["evictions"])
+    gauge("repro_session_cache_entries",
+          "Cached prompts resident across live sessions."
+          ).set(totals["size"])
+    lookups = totals["hits"] + totals["misses"]
+    gauge("repro_session_cache_hit_rate",
+          "Aggregate Augmenter hit rate across live sessions."
+          ).set(totals["hits"] / lookups if lookups else 0.0)
+
+
+def collect(target, registry: MetricsRegistry | None = None
+            ) -> MetricsRegistry:
+    """Refresh the bridge mirrors for a server or gateway.
+
+    ``target`` is a :class:`~repro.serving.PromptServer` or a
+    :class:`~repro.serving.ServingGateway` (detected by its ``server``
+    attribute).  The default registry is the target's own (``.obs``), so
+    live hot-path instruments and bridged ledgers land in one scrape.
+    """
+    server = getattr(target, "server", target)
+    if registry is None:
+        registry = getattr(target, "obs", None) or get_registry()
+    export_stats(target.stats, registry)
+    export_sessions(server, registry)
+    return registry
+
+
+def scrape(target, registry: MetricsRegistry | None = None) -> str:
+    """One-call exposition: refresh the bridges, render the registry."""
+    return render(collect(target, registry))

@@ -1,0 +1,94 @@
+"""Prometheus text-exposition (format 0.0.4) rendering of a registry.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry` into
+the plain-text format every Prometheus-compatible scraper ingests::
+
+    # HELP repro_gateway_shed_total Requests refused at admission.
+    # TYPE repro_gateway_shed_total counter
+    repro_gateway_shed_total{tenant="acme",priority="batch",\
+reason="queue-full"} 12
+
+Histograms render the full cumulative ``_bucket{le=...}`` ladder plus
+``_sum`` and ``_count``, and label values are escaped per the spec
+(backslash, double quote, newline).  The writer is dependency-free on
+purpose — the repo's no-new-deps rule, and the format is simple enough
+that a correct hand-rolled writer beats vendoring a client library.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry, _HistogramSeries
+
+__all__ = ["render", "escape_label_value"]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return (value.replace("\\", "\\\\")
+                 .replace("\n", "\\n")
+                 .replace('"', '\\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:.9g}"
+
+
+def _label_string(labelnames: tuple, labelvalues: tuple,
+                  extra: tuple = ()) -> str:
+    pairs = [f'{name}="{escape_label_value(value)}"'
+             for name, value in zip(labelnames, labelvalues)]
+    pairs.extend(f'{name}="{escape_label_value(value)}"'
+                 for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_histogram(lines: list, instrument, labelvalues: tuple,
+                      series: _HistogramSeries) -> None:
+    cumulative = 0
+    for bound, count in zip(instrument.buckets, series.counts):
+        cumulative += count
+        labels = _label_string(instrument.labelnames, labelvalues,
+                               extra=(("le", _format_bound(bound)),))
+        lines.append(f"{instrument.name}_bucket{labels} {cumulative}")
+    labels = _label_string(instrument.labelnames, labelvalues,
+                           extra=(("le", "+Inf"),))
+    lines.append(f"{instrument.name}_bucket{labels} {series.count}")
+    base = _label_string(instrument.labelnames, labelvalues)
+    lines.append(f"{instrument.name}_sum{base} "
+                 f"{_format_value(series.total)}")
+    lines.append(f"{instrument.name}_count{base} {series.count}")
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (trailing newline)."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} "
+                         f"{_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        series_map = instrument.series()
+        for labelvalues in sorted(series_map):
+            series = series_map[labelvalues]
+            if isinstance(series, _HistogramSeries):
+                _render_histogram(lines, instrument, labelvalues, series)
+            else:
+                labels = _label_string(instrument.labelnames, labelvalues)
+                lines.append(f"{instrument.name}{labels} "
+                             f"{_format_value(series)}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,73 @@
+"""Stdlib HTTP endpoint serving ``GET /metrics`` for scrapers.
+
+:class:`MetricsEndpoint` wraps ``http.server.ThreadingHTTPServer`` in a
+daemon thread: construct it with a zero-argument render callable (e.g.
+``lambda: scrape(gateway)``) and point a Prometheus scraper at
+``http://host:port/metrics``.  ``port=0`` binds an ephemeral port —
+tests and demos read the resolved ``.port`` back.  No third-party web
+framework, matching the repo's no-new-dependencies rule; the endpoint
+is read-only and renders on demand, so it never blocks the serving loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["MetricsEndpoint"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsEndpoint:
+    """Background ``/metrics`` server around a render callable."""
+
+    def __init__(self, render_fn, host: str = "127.0.0.1", port: int = 0):
+        self.render_fn = render_fn
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - stdlib handler naming
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404, "try /metrics")
+                    return
+                try:
+                    body = endpoint.render_fn().encode("utf-8")
+                except Exception as error:  # render must never kill serving
+                    self.send_error(500, f"render failed: {error}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-metrics-endpoint",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

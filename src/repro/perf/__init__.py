@@ -178,6 +178,7 @@ def bench_main(argv: list[str] | None = None) -> int:
 
     if baseline is not None:
         failures = []
+        skipped: list[str] = []
         for name, result in results.items():
             section = baseline_profile_section(baseline, name)
             if section is None:
@@ -185,10 +186,18 @@ def bench_main(argv: list[str] | None = None) -> int:
                     f"{name}: baseline {args.baseline} has no section for "
                     f"this profile — regenerate it with 'repro bench'")
                 continue
+            profile_skips: list[str] = []
             failures.extend(
                 f"[{name}] {failure}"
                 for failure in check_regression(result, section,
-                                                tolerance=args.tolerance))
+                                                tolerance=args.tolerance,
+                                                skipped=profile_skips))
+            skipped.extend(f"[{name}] {skip}" for skip in profile_skips)
+        # Skips print even on success: a gate that silently compared
+        # nothing (e.g. serial fallback vs. a process-pool baseline)
+        # must be visible in the log, not mistaken for a green check.
+        for skip in skipped:
+            print(f"ENVIRONMENT-SKIPPED: {skip}")
         if failures:
             for failure in failures:
                 print(f"PERF REGRESSION: {failure}", file=sys.stderr)

@@ -45,6 +45,8 @@ from dataclasses import dataclass, replace
 
 from ..graph.datapoints import Datapoint
 from ..graph.delta import AppliedUpdate, GraphUpdate
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from .qos import (
     AdmissionController,
     DeadlineAwareScheduler,
@@ -111,10 +113,43 @@ class ServingGateway:
                  tenant_quota: int | None = None,
                  deadlines: dict | None = None,
                  auto_drain: bool = True,
-                 clock=None):
+                 clock=None,
+                 registry: MetricsRegistry | None = None,
+                 trace_every: int | None = None):
         config = server.config
         self.server = server
         self.clock = clock if clock is not None else server.clock
+        #: Shared with the server by default, so one scrape covers the
+        #: gateway's admission counters and the server's batch metrics.
+        self.obs = registry if registry is not None else server.obs
+        self.tracer = Tracer(
+            every=config.obs_trace_every if trace_every is None
+            else trace_every)
+        obs = self.obs
+        tenant_labels = ("tenant", "priority")
+        self._m_submitted = obs.counter(
+            "repro_gateway_submitted_total",
+            "Requests offered to gateway admission.", tenant_labels)
+        self._m_admitted = obs.counter(
+            "repro_gateway_admitted_total",
+            "Requests admitted past the gateway.", tenant_labels)
+        self._m_shed = obs.counter(
+            "repro_gateway_shed_total",
+            "Requests refused at admission, by shed reason.",
+            ("tenant", "priority", "reason"))
+        self._m_completed = obs.counter(
+            "repro_gateway_completed_total",
+            "Admitted requests resolved successfully.", tenant_labels)
+        self._m_errors = obs.counter(
+            "repro_gateway_errors_total",
+            "Admitted requests resolved with an error.", tenant_labels)
+        self._m_misses = obs.counter(
+            "repro_gateway_deadline_misses_total",
+            "Resolved requests that blew their deadline.", tenant_labels)
+        self._m_queue_wait = obs.histogram(
+            "repro_gateway_queue_wait_seconds",
+            "Class-queue wait before batch release.", ("priority",))
+        self._endpoint = None
 
         def knob(value, default):
             return default if value is None else value
@@ -231,10 +266,22 @@ class ServingGateway:
         ledger = self.ledger(tenant_id, priority)
         now = self.clock()
         ledger.record_submit(now)
+        # Deterministic 1-in-N sampling: a counter, not an RNG draw, so
+        # tracing can never perturb prediction streams.
+        trace = self.tracer.maybe_trace()
+        klass = priority.name.lower()
+        self._m_submitted.inc(tenant=tenant_id, priority=klass)
         reason = self.admission.admit(tenant_id, priority,
                                       self.queue_depth())
         if reason is not None:
             ledger.record_shed(reason)
+            self._m_shed.inc(tenant=tenant_id, priority=klass,
+                             reason=reason)
+            if trace is not None:
+                trace.add_span("admission", max(self.clock() - now, 0.0))
+                trace.meta.update(tenant=tenant_id, session=session_id,
+                                  priority=klass, outcome=f"shed:{reason}")
+                self.tracer.record(trace)
             return Overloaded(
                 tenant_id=tenant_id, session_id=session_id,
                 priority=priority, reason=reason,
@@ -243,9 +290,15 @@ class ServingGateway:
                     flush_hint_s=self._flush_hint_s(priority)))
         ledger.admitted += 1
         ledger.tokens_consumed += 1.0
+        self._m_admitted.inc(tenant=tenant_id, priority=klass)
+        if trace is not None:
+            trace.add_span("admission", max(self.clock() - now, 0.0))
+            trace.meta.update(tenant=tenant_id, session=session_id,
+                              priority=klass)
         deadline = now + self.deadlines[priority]
         request_id = self._queues[priority].submit(session_id, datapoint,
-                                                   deadline=deadline)
+                                                   deadline=deadline,
+                                                   trace=trace)
         future = asyncio.get_running_loop().create_future()
         self._inflight[(priority, request_id)] = _InFlight(
             future=future, tenant_id=tenant_id, session_id=session_id,
@@ -359,7 +412,8 @@ class ServingGateway:
         for request in batch:
             try:
                 ticket = self.server.submit(request.session_id,
-                                            request.datapoint)
+                                            request.datapoint,
+                                            trace=request.trace)
             except KeyError:
                 errors.append((request, "session-expired"))
                 continue
@@ -425,12 +479,26 @@ class ServingGateway:
             priority=priority, result=result, queue_wait_s=queue_wait_s,
             deadline_missed=missed, error=error)
         ledger = self.ledger(inflight.tenant_id)
+        klass = priority.name.lower()
         if error is not None:
             # Failures stay out of completed/QPS/wait percentiles: a
             # tenant whose requests all errored must not look healthy.
             ledger.record_error(done_at)
+            self._m_errors.inc(tenant=inflight.tenant_id, priority=klass)
         else:
             ledger.record_complete(queue_wait_s, missed, done_at)
+            self._m_completed.inc(tenant=inflight.tenant_id,
+                                  priority=klass)
+        if missed:
+            self._m_misses.inc(tenant=inflight.tenant_id, priority=klass)
+        self._m_queue_wait.observe(queue_wait_s, priority=klass)
+        trace = getattr(request, "trace", None)
+        if trace is not None:
+            trace.add_span("queue_wait", queue_wait_s)
+            trace.add_span("total",
+                           max(done_at - inflight.submitted_at, 0.0))
+            trace.meta["outcome"] = "ok" if error is None else error
+            self.tracer.record(trace)
         if not inflight.future.done():
             inflight.future.set_result(outcome)
         return inflight.tenant_id
@@ -467,10 +535,30 @@ class ServingGateway:
         """Public alias of :meth:`flush` (flush + swap-lock barrier)."""
         return await self.flush()
 
+    def start_metrics_endpoint(self, host: str = "127.0.0.1",
+                               port: int = 0):
+        """Expose ``GET /metrics`` over HTTP for this gateway.
+
+        Each scrape re-collects the legacy ledgers into the shared
+        registry and renders Prometheus text exposition.  Returns the
+        running :class:`~repro.obs.MetricsEndpoint` (its ``.url`` is the
+        scrape target); idempotent — a second call returns the first
+        endpoint.  ``close()`` shuts it down with the gateway.
+        """
+        if self._endpoint is None:
+            from ..obs.bridge import scrape
+            from ..obs.httpd import MetricsEndpoint
+            self._endpoint = MetricsEndpoint(lambda: scrape(self),
+                                             host=host, port=port)
+        return self._endpoint
+
     async def close(self) -> None:
         """Stop the drain loop after serving everything still queued."""
         await self.flush()
         self._closed = True
+        if self._endpoint is not None:
+            self._endpoint.close()
+            self._endpoint = None
         self._wakeup.set()
         if self._drain_task is not None:
             self._drain_task.cancel()

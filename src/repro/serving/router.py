@@ -34,6 +34,7 @@ from ..gnn import BatchArena
 from ..graph.datapoints import Datapoint
 from ..graph.graph import Graph
 from ..nn import no_grad
+from ..obs.tracing import span
 from ..shard import ShardCounters, ShardedGraphStore, WorkerPool
 
 __all__ = ["ShardRouter"]
@@ -156,6 +157,11 @@ class ShardRouter:
         each worker owns its own :class:`~repro.gnn.BatchArena`.
         """
         del arena
+        with span("shard_encode"):
+            return self._encode_points(datapoints)
+
+    def _encode_points(self, datapoints: list
+                       ) -> tuple[np.ndarray, np.ndarray]:
         groups: dict[int, list[int]] = {}
         for position, datapoint in enumerate(datapoints):
             groups.setdefault(self.home_shard(datapoint), []).append(position)

@@ -36,6 +36,11 @@ class PendingRequest:
     means the request only participates in the base size/age release
     policy.  The gateway's :class:`~repro.serving.qos.DeadlineAwareScheduler`
     uses it to flush shallow queues before the budget is gone.
+
+    ``trace`` optionally carries the request's sampled
+    :class:`~repro.obs.TraceContext` through the queue, so the batch
+    tick can attach its per-stage spans; ``None`` (the overwhelmingly
+    common case) costs nothing downstream.
     """
 
     request_id: int
@@ -43,6 +48,7 @@ class PendingRequest:
     datapoint: Datapoint
     submitted_at: float
     deadline: float | None = None
+    trace: object | None = None
 
 
 class MicroBatchScheduler:
@@ -70,14 +76,15 @@ class MicroBatchScheduler:
         return len(self._queue)
 
     def submit(self, session_id: str, datapoint: Datapoint,
-               deadline: float | None = None) -> int:
+               deadline: float | None = None,
+               trace: object | None = None) -> int:
         """Enqueue one query; returns its ticket (request id)."""
         request_id = self._next_request_id
         self._next_request_id += 1
         self._queue.append(PendingRequest(
             request_id=request_id, session_id=session_id,
             datapoint=datapoint, submitted_at=self.clock(),
-            deadline=deadline))
+            deadline=deadline, trace=trace))
         return request_id
 
     def ready(self) -> bool:

@@ -44,6 +44,13 @@ from ..core.prompt_augmenter import PromptAugmenter
 from ..datasets.base import Dataset
 from ..graph.datapoints import Datapoint
 from ..graph.delta import AppliedUpdate, GraphUpdate
+from ..obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+)
+from ..obs.tracing import batch_scope, span
 from ..shard import ShardCounters
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
@@ -129,7 +136,8 @@ class PromptServer:
                  num_shards: int | None = None,
                  num_workers: int | None = None,
                  shard_strategy: str | None = None,
-                 worker_backend: str | None = None):
+                 worker_backend: str | None = None,
+                 registry: MetricsRegistry | None = None):
         if result_buffer_size < 1:
             raise ValueError("result_buffer_size must be at least 1")
         model.eval()
@@ -138,6 +146,16 @@ class PromptServer:
         self.config: GraphPrompterConfig = model.config
         self.rng = np.random.default_rng(rng)
         self.clock = clock
+        # Observability home: an explicit registry wins, else the ambient
+        # one (process-global unless a scope is active), else — with
+        # metrics disabled — a dead registry whose instruments drop every
+        # record after one branch.
+        if registry is not None:
+            self.obs = registry
+        elif self.config.obs_metrics_enabled:
+            self.obs = get_registry()
+        else:
+            self.obs = MetricsRegistry(enabled=False)
         self.pipeline = GraphPrompterPipeline(model, dataset, rng=self.rng)
         # Serving requires order-independent subgraphs: the same query must
         # encode identically whether it rides a batch of 1 or 16.
@@ -217,8 +235,9 @@ class PromptServer:
         """Bind ``session_id`` to an episode; encodes its pool once."""
         pool, pool_labels = self.pipeline.select_candidate_pool(episode,
                                                                 shots)
-        candidate_emb, candidate_importance = \
-            self.pipeline.encode_points(pool)
+        with scoped_registry(self.obs):
+            candidate_emb, candidate_importance = \
+                self.pipeline.encode_points(pool)
         augmenter = PromptAugmenter(
             self.config, rng=np.random.default_rng(self.rng.integers(2**32)))
         state = SessionState(
@@ -314,8 +333,9 @@ class PromptServer:
         """Re-anchor a stale session to the current graph epoch."""
         pool, pool_labels = self.pipeline.select_candidate_pool(
             session.episode, session.shots)
-        session.candidate_emb, session.candidate_importance = \
-            self.pipeline.encode_points(pool)
+        with scoped_registry(self.obs):
+            session.candidate_emb, session.candidate_importance = \
+                self.pipeline.encode_points(pool)
         session.pool_labels = pool_labels
         session.augmenter.invalidate()
         session.dependent_nodes = self._dependencies(pool)
@@ -325,15 +345,19 @@ class PromptServer:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, session_id: str, datapoint: Datapoint) -> int:
+    def submit(self, session_id: str, datapoint: Datapoint,
+               trace=None) -> int:
         """Enqueue one query for ``session_id``; returns its ticket.
 
         Raises ``KeyError`` when the session is unknown (never opened,
-        evicted, or expired) — callers re-open and resubmit.
+        evicted, or expired) — callers re-open and resubmit.  ``trace``
+        optionally attaches a sampled
+        :class:`~repro.obs.TraceContext` that rides the queue and
+        collects the batch tick's per-stage spans.
         """
         self.sessions.sweep()
         self.sessions.get(session_id)  # liveness check + recency touch
-        return self.scheduler.submit(session_id, datapoint)
+        return self.scheduler.submit(session_id, datapoint, trace=trace)
 
     def result(self, request_id: int) -> ServeResult | None:
         """Completed result for a ticket, if its batch has run."""
@@ -359,13 +383,27 @@ class PromptServer:
     # ------------------------------------------------------------------
     def _process(self, batch: list[PendingRequest]) -> list[ServeResult]:
         """One coalesced encoder pass, then per-session scatter."""
+        with scoped_registry(self.obs):
+            return self._process_scoped(batch)
+
+    def _process_scoped(self, batch: list[PendingRequest]
+                        ) -> list[ServeResult]:
         start = self.clock()
+        obs = self.obs
+        traces = [request.trace for request in batch
+                  if request.trace is not None]
         # Hot path: every pending subgraph — across sessions — in one
         # disjoint-union GNN pass, assembled into the scheduler's reusable
-        # arena buffers (no per-tick batch allocation).
-        emb, importance = self.pipeline.encode_points(
-            [request.datapoint for request in batch],
-            arena=self.scheduler.arena)
+        # arena buffers (no per-tick batch allocation).  The batch scope
+        # attaches the encode/shard-stage spans to every traced request
+        # riding this batch.
+        with batch_scope(traces), span("encode"):
+            emb, importance = self.pipeline.encode_points(
+                [request.datapoint for request in batch],
+                arena=self.scheduler.arena)
+        wait_hist = obs.histogram(
+            "repro_server_queue_wait_seconds",
+            "Micro-batch scheduler queue wait per request.")
         results = []
         for i, request in enumerate(batch):
             wait_s = max(start - request.submitted_at, 0.0)
@@ -387,11 +425,13 @@ class PromptServer:
             # Prediction stays per-query and in arrival order, so each
             # session's Augmenter cache evolves exactly as it would under
             # per-query serving — batching never changes answers.
-            preds, confs, inserted = self.pipeline.predict_batch(
-                session.candidate_emb, session.candidate_importance,
-                session.pool_labels, emb[i:i + 1], importance[i:i + 1],
-                session.num_ways, session.shots,
-                augmenter=session.augmenter)
+            with batch_scope([request.trace]), span("predict"):
+                preds, confs, inserted = self.pipeline.predict_batch(
+                    session.candidate_emb, session.candidate_importance,
+                    session.pool_labels, emb[i:i + 1],
+                    importance[i:i + 1], session.num_ways, session.shots,
+                    augmenter=session.augmenter)
+            wait_hist.observe(wait_s)
             if self._mutable:
                 # The query's embedding now lives in the session (as a
                 # potential cached prompt and as hit history), so future
@@ -408,6 +448,9 @@ class PromptServer:
         self._queries += sum(r.ok for r in results)
         self._batches += 1
         self._encoded_subgraphs += len(batch)
+        obs.histogram("repro_server_batch_size",
+                      "Requests per released micro-batch.",
+                      buckets=BATCH_SIZE_BUCKETS).observe(len(batch))
         for result in results:
             self._results[result.request_id] = result
         while len(self._results) > self.result_buffer_size:

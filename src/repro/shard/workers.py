@@ -13,6 +13,15 @@ be module-level (picklable) for the process backend.  ``map`` preserves
 submission order and returns ``(result, busy_seconds)`` pairs, the per-task
 wall time the serving layer aggregates into ``worker_busy_s``.
 
+Metrics recorded *inside* a worker (the sampler/batcher/forward stage
+histograms fire in whichever process runs the task) ride home with each
+result: the worker drains its process-global
+:class:`~repro.obs.MetricsRegistry` into a plain-data delta per task, and
+``map`` folds every delta into the host's ambient registry — so
+histograms and counters stay exact whichever backend executed the work.
+The serial backend records straight into the ambient registry (no delta,
+no double count).
+
 A broken pool (e.g. a sandbox that forbids forking) degrades to the serial
 backend permanently instead of failing the request path.
 """
@@ -22,6 +31,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+
+from ..obs.metrics import get_registry, reset_worker_state
 
 __all__ = ["WorkerPool", "WORKER_BACKENDS"]
 
@@ -33,6 +44,9 @@ _CONTEXT = None
 
 def _process_init(initializer, initargs) -> None:
     global _CONTEXT
+    # A forked worker inherits a copy of the parent's registry state;
+    # clear it so the first task's drain ships only this worker's work.
+    reset_worker_state()
     _CONTEXT = initializer(*initargs)
 
 
@@ -40,7 +54,10 @@ def _process_call(payload):
     fn, task = payload
     start = time.perf_counter()
     result = fn(_CONTEXT, task)
-    return result, time.perf_counter() - start
+    busy = time.perf_counter() - start
+    # Ship the metrics this task recorded (stage histograms etc.) home
+    # as a plain-data delta; ``{}`` when nothing fired.
+    return result, busy, get_registry().drain()
 
 
 def _pick_start_method() -> str:
@@ -117,13 +134,23 @@ class WorkerPool:
             return []
         if self._pool is not None:
             try:
-                return self._pool.map(_process_call,
-                                      [(fn, task) for task in tasks])
+                outputs = self._pool.map(_process_call,
+                                         [(fn, task) for task in tasks])
             except Exception:
                 # The pool died (forbidden fork, killed worker): degrade to
                 # serial for the rest of this pool's life.
                 self.close()
                 self.backend = "serial"
+            else:
+                # Fold each worker's metric delta into the host registry;
+                # the public return shape stays (result, busy_seconds).
+                registry = get_registry()
+                merged = []
+                for result, busy, delta in outputs:
+                    if delta:
+                        registry.merge(delta)
+                    merged.append((result, busy))
+                return merged
         context = self._serial_context()
         out = []
         for task in tasks:

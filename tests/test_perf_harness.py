@@ -97,6 +97,25 @@ class TestCheckRegression:
             "speedup": 0.2, "backend": "serial", "cores": 1}}}
         assert len(check_regression(matched, baseline)) == 1
 
+    def test_environment_skip_is_reported_explicitly(self):
+        # The skip must not be silent: callers passing a ``skipped`` list
+        # get one message naming the benchmark and the diverging keys.
+        current = {"benchmarks": {"shard_parallel_qps": {
+            "speedup": 0.2, "backend": "process", "cores": 8}}}
+        baseline = {"benchmarks": {"shard_parallel_qps": {
+            "speedup": 1.0, "backend": "serial", "cores": 1}}}
+        skipped: list[str] = []
+        assert check_regression(current, baseline, skipped=skipped) == []
+        assert len(skipped) == 1
+        assert "shard_parallel_qps" in skipped[0]
+        assert "environment-skipped" in skipped[0]
+        assert "backend" in skipped[0] and "cores" in skipped[0]
+        assert "'process'" in skipped[0] and "'serial'" in skipped[0]
+        # No mismatch -> nothing reported.
+        skipped.clear()
+        check_regression(baseline, baseline, skipped=skipped)
+        assert skipped == []
+
     def test_regression_detected(self):
         current = self._results({"a": 1.0})
         baseline = self._results({"a": 3.0})
