@@ -27,6 +27,7 @@ from .experiments import (
     serve_bench,
     serve_bench_gateway,
     serve_bench_mutating,
+    serve_bench_recovery,
     serve_bench_sharded,
     serve_gateway_demo,
     fig3_ablation,
@@ -68,6 +69,8 @@ EXPERIMENTS = {
                             "sharded/parallel serving equivalence + QPS"),
     "serve-bench-mutating": (serve_bench_mutating,
                              "live-mutation serving + cold-rebuild equality"),
+    "serve-bench-recovery": (serve_bench_recovery,
+                             "crash/recovery differential + replica failover"),
     "serve-bench-gateway": (serve_bench_gateway,
                             "multi-tenant gateway QoS + equivalence bench"),
     "serve-gateway": (serve_gateway_demo,

@@ -18,6 +18,7 @@ from .figures import (
 )
 from .gateway import serve_bench_gateway, serve_gateway_demo
 from .grids import accuracy_grid
+from .recovery import serve_bench_recovery
 from .serving import serve_bench, serve_bench_mutating, serve_bench_sharded
 from .tables import (
     table2_dataset_statistics,
@@ -41,6 +42,7 @@ __all__ = [
     "serve_bench",
     "serve_bench_gateway",
     "serve_bench_mutating",
+    "serve_bench_recovery",
     "serve_bench_sharded",
     "serve_gateway_demo",
     "table2_dataset_statistics",

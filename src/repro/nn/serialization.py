@@ -1,26 +1,69 @@
-"""Saving and loading module weights as ``.npz`` archives."""
+"""Saving and loading module weights as checksummed ``.npz`` archives.
+
+Weights are written atomically (temp + fsync + ``os.replace`` via
+:func:`repro.persist.atomic_write`) with a CRC32 over every array folded
+into the archive, and verified on load: a truncated download, torn copy,
+or bit-flipped file raises the typed
+:class:`~repro.persist.CorruptArtifactError` instead of surfacing as a raw
+``BadZipFile``/pickle traceback from deep inside numpy.  Archives written
+before the checksum landed (no ``__checksum__`` entry) still load — their
+container integrity is checked, just not their payload digest.
+"""
 
 from __future__ import annotations
 
-import os
+import io
+import zipfile
 
 import numpy as np
 
+from ..persist.atomic import (
+    CorruptArtifactError,
+    atomic_write,
+    checksum_arrays,
+)
 from .layers import Module
 
-__all__ = ["save_state", "load_state"]
+__all__ = ["save_state", "load_state", "CorruptArtifactError"]
+
+_CHECKSUM_KEY = "__checksum__"
 
 
 def save_state(module: Module, path: str) -> None:
-    """Persist a module's state dict to ``path`` (numpy ``.npz``)."""
-    state = module.state_dict()
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez(path, **state)
+    """Persist a module's state dict to ``path`` (checksummed ``.npz``).
+
+    Written atomically: a crash mid-save leaves any previous file intact.
+    """
+    state = {key: np.asarray(value)
+             for key, value in module.state_dict().items()}
+    arrays = dict(state)
+    arrays[_CHECKSUM_KEY] = np.array([checksum_arrays(state)],
+                                     dtype=np.uint64)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    with atomic_write(path, "wb") as handle:
+        handle.write(buffer.getvalue())
 
 
 def load_state(module: Module, path: str) -> None:
-    """Restore a module's weights from a ``.npz`` produced by :func:`save_state`."""
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
+    """Restore a module's weights from a ``.npz`` produced by
+    :func:`save_state`.
+
+    Raises :class:`CorruptArtifactError` when the file is truncated,
+    unreadable, or fails its checksum; archive/module key mismatches
+    (e.g. loading an ``mlp`` scorer's state into a ``bilinear`` model)
+    still raise ``KeyError`` from ``load_state_dict`` as before.
+    """
+    try:
+        with np.load(path) as archive:
+            state = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as error:
+        raise CorruptArtifactError(
+            f"model state {path} is unreadable (truncated or damaged): "
+            f"{type(error).__name__}: {error}") from error
+    stored = state.pop(_CHECKSUM_KEY, None)
+    if stored is not None and int(stored[0]) != checksum_arrays(state):
+        raise CorruptArtifactError(
+            f"model state {path} failed its checksum — the file was "
+            f"corrupted after it was written")
     module.load_state_dict(state)

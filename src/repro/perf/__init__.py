@@ -164,16 +164,12 @@ def bench_main(argv: list[str] | None = None) -> int:
         }
         # Atomic merge-write: an interrupted run must never leave a
         # truncated/half-written baseline behind — CI compares against
-        # this file, so a torn write would fail every later check.  The
-        # temp file lives in the output's directory so the final rename
-        # stays a same-filesystem atomic replace.
-        temp_path = f"{args.output}.tmp"
-        with open(temp_path, "w") as handle:
+        # this file, so a torn write would fail every later check.
+        from ..persist import atomic_write
+
+        with atomic_write(args.output) as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp_path, args.output)
         print(f"[wrote {args.output}]")
 
     if baseline is not None:

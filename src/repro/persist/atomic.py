@@ -1,0 +1,100 @@
+"""Atomic file writes and artifact checksums (crash-safe foundations).
+
+Every durable artifact in this repo — graph snapshots, WAL segments,
+session manifests, model weights, the perf harness's committed baseline —
+goes to disk through :func:`atomic_write`: the bytes land in a temp file in
+the destination's directory, are fsynced, and then replace the destination
+with one ``os.replace``.  A reader therefore only ever observes the old
+complete file or the new complete file, never a truncation — the property
+the crash-recovery tier (and CI, which diffs committed baselines) is built
+on.
+
+:class:`CorruptArtifactError` is the typed failure every loader raises when
+a checksum or container check fails, so callers can distinguish "artifact
+damaged on disk" from programming errors.  It lives here (dependency-free)
+so :mod:`repro.nn.serialization` and the snapshot loader can share it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "CorruptArtifactError",
+    "atomic_write",
+    "checksum_arrays",
+    "fsync_directory",
+]
+
+
+class CorruptArtifactError(RuntimeError):
+    """A persisted artifact failed its integrity check.
+
+    Raised instead of the raw numpy/zip/pickle traceback when a snapshot,
+    WAL segment, or ``.npz`` state file is truncated or bit-flipped, so
+    recovery code can fall back (older snapshot, shorter replay) rather
+    than crash on an undiagnosable ``BadZipFile``.
+    """
+
+
+@contextlib.contextmanager
+def atomic_write(path: str, mode: str = "w"):
+    """Write ``path`` atomically: temp file + fsync + ``os.replace``.
+
+    Yields the open temp-file handle.  On clean exit the temp file is
+    fsynced and renamed over ``path`` (same-directory, so the replace is a
+    same-filesystem atomic operation); on error the temp file is removed
+    and the destination is untouched.  ``mode`` is ``"w"`` or ``"wb"``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    handle = open(temp_path, mode)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        with contextlib.suppress(OSError):
+            os.remove(temp_path)
+        raise
+    handle.close()
+    os.replace(temp_path, path)
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def checksum_arrays(arrays: dict) -> int:
+    """CRC32 over a named-array mapping (order-independent, shape-aware).
+
+    The digest covers each array's name, dtype, shape, and raw bytes, in
+    sorted-name order — so any truncation, bit flip, renamed key, or
+    reshaped payload changes it.  Used by both the graph snapshot and the
+    model-state ``.npz`` writers; stored beside the data and verified on
+    load (mismatch → :class:`CorruptArtifactError`).
+    """
+    digest = 0
+    for name in sorted(arrays):
+        array = arrays[name]
+        header = f"{name}:{array.dtype.str}:{array.shape};".encode()
+        digest = zlib.crc32(header, digest)
+        digest = zlib.crc32(np.ascontiguousarray(array).tobytes(), digest)
+    return digest

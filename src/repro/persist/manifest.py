@@ -1,0 +1,160 @@
+"""Session manifests: the state needed to re-open a session after restart.
+
+A live session's heavy state (encoded candidate pool, Augmenter cache) is
+*derived* — recomputable from the episode definition over the current
+graph.  What recovery actually needs per session is the small durable
+part: the session id, its owner tenant and priority class, the shot count,
+the materialized episode (way classes + candidate/query datapoints +
+labels), the graph epoch it was opened under, and the order sessions were
+opened in (server RNG draws happen per open, so re-opening in the original
+order reproduces the original RNG stream).
+
+:class:`SessionManifestStore` keeps one JSON file per session under a
+directory, each written atomically, so a crash mid-open or mid-close
+leaves every other session's manifest intact.  Restart loads them all,
+sorted by ``open_index``, and re-opens sessions against the recovered
+graph — the pool re-encode then *re-derives* the heavy state, which by the
+bit-identity contract matches what an uninterrupted run would serve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from .atomic import CorruptArtifactError, atomic_write
+
+__all__ = ["SessionManifest", "SessionManifestStore",
+           "episode_to_jsonable", "episode_from_jsonable"]
+
+
+def _datapoint_to_jsonable(datapoint) -> dict:
+    """Serialize a Node/EdgeInput without importing the graph package."""
+    if hasattr(datapoint, "head"):
+        return {"kind": "edge", "head": int(datapoint.head),
+                "tail": int(datapoint.tail),
+                "relation": None if datapoint.relation is None
+                else int(datapoint.relation)}
+    return {"kind": "node", "node": int(datapoint.node)}
+
+
+def _datapoint_from_jsonable(payload: dict):
+    from ..graph.datapoints import EdgeInput, NodeInput
+
+    if payload["kind"] == "edge":
+        return EdgeInput(head=payload["head"], tail=payload["tail"],
+                         relation=payload["relation"])
+    return NodeInput(node=payload["node"])
+
+
+def episode_to_jsonable(episode) -> dict:
+    """A materialized :class:`~repro.core.episodes.Episode` as plain data."""
+    return {
+        "way_classes": np.asarray(episode.way_classes).tolist(),
+        "candidates": [_datapoint_to_jsonable(d)
+                       for d in episode.candidates],
+        "candidate_labels": np.asarray(episode.candidate_labels).tolist(),
+        "queries": [_datapoint_to_jsonable(d) for d in episode.queries],
+        "query_labels": np.asarray(episode.query_labels).tolist(),
+    }
+
+
+def episode_from_jsonable(payload: dict):
+    """Inverse of :func:`episode_to_jsonable`."""
+    from ..core.episodes import Episode
+
+    return Episode(
+        way_classes=np.asarray(payload["way_classes"], dtype=np.int64),
+        candidates=[_datapoint_from_jsonable(d)
+                    for d in payload["candidates"]],
+        candidate_labels=np.asarray(payload["candidate_labels"],
+                                    dtype=np.int64),
+        queries=[_datapoint_from_jsonable(d) for d in payload["queries"]],
+        query_labels=np.asarray(payload["query_labels"], dtype=np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class SessionManifest:
+    """Durable description of one open session."""
+
+    session_id: str
+    open_index: int
+    shots: int
+    graph_version: int
+    episode: dict
+    tenant_id: str | None = None
+    priority: int | None = None
+
+    def to_jsonable(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "open_index": self.open_index,
+            "shots": self.shots,
+            "graph_version": self.graph_version,
+            "episode": self.episode,
+            "tenant_id": self.tenant_id,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "SessionManifest":
+        return cls(
+            session_id=payload["session_id"],
+            open_index=int(payload["open_index"]),
+            shots=int(payload["shots"]),
+            graph_version=int(payload["graph_version"]),
+            episode=payload["episode"],
+            tenant_id=payload.get("tenant_id"),
+            priority=payload.get("priority"),
+        )
+
+
+class SessionManifestStore:
+    """One atomically-written JSON manifest per session, in a directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, session_id: str) -> str:
+        # Session ids may contain path-hostile characters; hex-encode so
+        # each maps to exactly one flat filename.
+        return os.path.join(self.directory,
+                            f"session-{session_id.encode().hex()}.json")
+
+    def write(self, manifest: SessionManifest) -> None:
+        with atomic_write(self._path(manifest.session_id)) as handle:
+            json.dump(manifest.to_jsonable(), handle)
+
+    def remove(self, session_id: str) -> None:
+        try:
+            os.remove(self._path(session_id))
+        except FileNotFoundError:
+            pass
+
+    def load_all(self) -> list[SessionManifest]:
+        """Every manifest, in original open order."""
+        manifests = []
+        for entry in sorted(os.listdir(self.directory)):
+            if not (entry.startswith("session-")
+                    and entry.endswith(".json")):
+                continue
+            path = os.path.join(self.directory, entry)
+            try:
+                with open(path) as handle:
+                    manifests.append(
+                        SessionManifest.from_jsonable(json.load(handle)))
+            except (ValueError, KeyError, TypeError) as error:
+                raise CorruptArtifactError(
+                    f"session manifest {path} is unreadable: "
+                    f"{type(error).__name__}: {error}") from error
+        manifests.sort(key=lambda m: m.open_index)
+        return manifests
+
+    def next_open_index(self) -> int:
+        manifests = self.load_all()
+        return manifests[-1].open_index + 1 if manifests else 0

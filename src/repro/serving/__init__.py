@@ -21,7 +21,15 @@ pipeline:
   admission queue with class-aware load shedding (typed
   :class:`Overloaded` rejections, never a hang), deadline-aware priority
   batching (:mod:`repro.serving.qos`), and graceful drain around graph
-  updates and model hot swaps.
+  updates and model hot swaps;
+* **durability** — constructed with a
+  :class:`~repro.persist.PersistentStore`, the server WAL-logs every
+  update before applying it, keeps per-session manifests, snapshots on
+  demand, and warm-starts via :meth:`PromptServer.restore` to
+  bit-identical serving; :class:`ReplicaSet`
+  (:mod:`repro.serving.replicaset`) tenant-hashes across N gateway
+  replicas sharing one store, with health-checked failover that settles
+  in-flight requests with typed :class:`Unavailable` results.
 """
 
 from .gateway import GatewayResult, ServingGateway
@@ -33,7 +41,9 @@ from .qos import (
     TenantLedger,
     TenantStats,
     TokenBucket,
+    Unavailable,
 )
+from .replicaset import ReplicaSet
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
 from .server import PromptServer, ServeResult, ServerStats
@@ -48,6 +58,7 @@ __all__ = [
     "PendingRequest",
     "Priority",
     "PromptServer",
+    "ReplicaSet",
     "ServeResult",
     "ServerStats",
     "ServingGateway",
@@ -58,4 +69,5 @@ __all__ = [
     "TenantLedger",
     "TenantStats",
     "TokenBucket",
+    "Unavailable",
 ]

@@ -48,11 +48,13 @@ from ..graph.delta import AppliedUpdate, GraphUpdate
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from .qos import (
+    UNAVAILABLE_SHUTDOWN,
     AdmissionController,
     DeadlineAwareScheduler,
     Overloaded,
     Priority,
     TenantLedger,
+    Unavailable,
 )
 from .server import PromptServer, ServeResult, ServerStats
 
@@ -208,7 +210,8 @@ class ServingGateway:
 
     def open_session(self, tenant_id: str, session_id: str, episode,
                      shots: int = 3,
-                     priority: Priority = Priority.INTERACTIVE):
+                     priority: Priority = Priority.INTERACTIVE,
+                     _open_index: int | None = None):
         """Open a server session owned by ``tenant_id`` at ``priority``.
 
         The priority class is fixed for the session's lifetime — that is
@@ -217,6 +220,10 @@ class ServingGateway:
         keyed by the tenant's class, so one tenant mixing classes would
         silently misclassify part of its traffic.  Model separate
         workloads of one customer as separate tenant ids.
+
+        When the server has a :class:`~repro.persist.PersistentStore`,
+        the tenant and priority ride the session's durable manifest, so a
+        restart (or replica failover) re-opens the session for its owner.
         """
         priority = Priority(priority)
         existing = self._ledgers.get(tenant_id)
@@ -226,10 +233,36 @@ class ServingGateway:
                 f"{existing.priority.name} sessions; a tenant's sessions "
                 f"must share one priority class (use a distinct tenant id "
                 f"per class)")
-        state = self.server.open_session(session_id, episode, shots=shots)
+        state = self.server.open_session(
+            session_id, episode, shots=shots, tenant_id=tenant_id,
+            priority=priority, _open_index=_open_index)
         self._sessions[session_id] = (tenant_id, priority)
         self.ledger(tenant_id, priority)
         return state
+
+    def adopt_sessions(self) -> int:
+        """Register a restored server's sessions with this gateway.
+
+        :meth:`PromptServer.restore` re-opens every manifested session on
+        the *server*; this reads the same manifests to rebuild the
+        gateway-side session → (tenant, priority) map and tenant ledgers,
+        so restored sessions are immediately routable.  Returns the
+        number of sessions adopted.
+        """
+        persist = self.server.persist
+        if persist is None:
+            return 0
+        adopted = 0
+        for manifest in persist.sessions.load_all():
+            if manifest.session_id not in self.server.sessions:
+                continue
+            tenant_id = manifest.tenant_id or "default"
+            priority = (Priority.INTERACTIVE if manifest.priority is None
+                        else Priority(manifest.priority))
+            self._sessions[manifest.session_id] = (tenant_id, priority)
+            self.ledger(tenant_id, priority)
+            adopted += 1
+        return adopted
 
     def close_session(self, session_id: str):
         self._sessions.pop(session_id, None)
@@ -241,6 +274,11 @@ class ServingGateway:
     def queue_depth(self) -> int:
         """Total admitted-but-unreleased requests across all classes."""
         return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def closed(self) -> bool:
+        """True once the gateway stopped accepting work (close/abort)."""
+        return self._closed
 
     def _flush_hint_s(self, priority: Priority) -> float:
         flush_at = self._queues[priority].next_flush_at()
@@ -506,17 +544,20 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # Graceful drain / hot swap
     # ------------------------------------------------------------------
-    async def update_graph(self, update: GraphUpdate) -> AppliedUpdate:
+    async def update_graph(self, update: GraphUpdate,
+                           log: bool = True) -> AppliedUpdate:
         """Apply a live graph mutation with zero dropped requests.
 
         Under the swap lock: every admitted in-flight request is drained
         through the *pre-mutation* graph, then the server absorbs the
         update (shard rebuilds, session epoch invalidation).  Requests
         admitted while the swap holds the lock simply queue behind it.
+        ``log=False`` skips the WAL append — for callers (the replica
+        set) that logged the update once already and are fanning it out.
         """
         async with self._swap_lock:
             await self._flush_locked()
-            return self.server.update_graph(update)
+            return self.server.update_graph(update, log=log)
 
     async def reload_model(self, state_dict: dict) -> None:
         """Hot-swap model weights with zero dropped requests.
@@ -552,21 +593,59 @@ class ServingGateway:
                                              host=host, port=port)
         return self._endpoint
 
-    async def close(self) -> None:
-        """Stop the drain loop after serving everything still queued."""
-        await self.flush()
+    def abort(self, reason: str = UNAVAILABLE_SHUTDOWN) -> int:
+        """Immediate shutdown: settle everything in flight, serve nothing.
+
+        The never-hang contract through process death: admission closes,
+        every queued-but-unreleased batch is discarded, and every admitted
+        request whose future is still pending resolves with a typed
+        :class:`~repro.serving.qos.Unavailable` — no dangling future, no
+        ``CancelledError`` surfacing to a tenant.  Synchronous on purpose
+        so a replica-set failover can kill a replica without awaiting it.
+        Idempotent; returns the number of requests settled.
+        """
         self._closed = True
+        now = self.clock()
+        for queue in self._queues.values():
+            while len(queue):
+                queue.next_batch()
+        inflight, self._inflight = self._inflight, {}
+        settled = 0
+        for (priority, _), entry in inflight.items():
+            if entry.future.done():
+                continue
+            entry.future.set_result(Unavailable(
+                tenant_id=entry.tenant_id, session_id=entry.session_id,
+                priority=priority, reason=reason))
+            self.ledger(entry.tenant_id).record_error(now)
+            self._m_errors.inc(tenant=entry.tenant_id,
+                               priority=priority.name.lower())
+            settled += 1
         if self._endpoint is not None:
             self._endpoint.close()
             self._endpoint = None
         self._wakeup.set()
         if self._drain_task is not None:
             self._drain_task.cancel()
+            self._drain_task = None
+        return settled
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the drain loop; by default after serving the queues.
+
+        ``drain=False`` skips the final flush — in-flight requests settle
+        with :class:`~repro.serving.qos.Unavailable` instead (the
+        kill-switch the replica set pulls on failover).
+        """
+        if drain and not self._closed:
+            await self.flush()
+        task = self._drain_task
+        self.abort()
+        if task is not None:
             try:
-                await self._drain_task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._drain_task = None
 
     async def __aenter__(self) -> "ServingGateway":
         return self

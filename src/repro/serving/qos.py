@@ -43,6 +43,7 @@ __all__ = [
     "Priority",
     "TokenBucket",
     "Overloaded",
+    "Unavailable",
     "AdmissionController",
     "TenantLedger",
     "TenantStats",
@@ -93,6 +94,35 @@ class Overloaded:
     #: Suggested back-off: time until the shedding condition can clear
     #: (token-bucket refill time, or one flush interval for a full queue).
     retry_after_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+#: ``Unavailable.reason`` values.
+UNAVAILABLE_SHUTDOWN = "shutdown"
+UNAVAILABLE_FAILOVER = "replica-failover"
+
+
+@dataclass(frozen=True)
+class Unavailable:
+    """Typed shutdown/failover result: the request was accepted but the
+    serving process went away before (or while) computing it.
+
+    The never-hang contract extends through shutdown: when a gateway is
+    aborted (or a replica is killed mid-flight), every admitted,
+    still-unresolved request settles with this — never a dangling future,
+    never a raw ``CancelledError`` surfacing to the tenant.  Unlike
+    :class:`Overloaded`, the work may be retried immediately against a
+    surviving replica; durable state (WAL + manifests) guarantees the
+    retried answer is the same one the dead process would have served.
+    """
+
+    tenant_id: str
+    session_id: str
+    priority: Priority
+    reason: str = UNAVAILABLE_SHUTDOWN
 
     @property
     def ok(self) -> bool:

@@ -90,11 +90,12 @@ class ShardRouter:
 
     def __init__(self, model: GraphPrompterModel, graph: Graph,
                  num_shards: int = 1, num_workers: int = 1,
-                 strategy: str = "greedy", backend: str = "auto"):
+                 strategy: str = "greedy", backend: str = "auto",
+                 owner: np.ndarray | None = None):
         config = model.config
         self.num_shards = num_shards
         self.store = ShardedGraphStore.from_graph(graph, num_shards,
-                                                  strategy)
+                                                  strategy, owner=owner)
         self.counters = [ShardCounters(shard_id=k)
                          for k in range(num_shards)]
         self._num_workers = num_workers

@@ -51,6 +51,12 @@ from ..obs.metrics import (
     scoped_registry,
 )
 from ..obs.tracing import batch_scope, span
+from ..persist import (
+    PersistentStore,
+    SessionManifest,
+    episode_from_jsonable,
+    episode_to_jsonable,
+)
 from ..shard import ShardCounters
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
@@ -137,7 +143,9 @@ class PromptServer:
                  num_workers: int | None = None,
                  shard_strategy: str | None = None,
                  worker_backend: str | None = None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 persist: PersistentStore | None = None,
+                 shard_owner: np.ndarray | None = None):
         if result_buffer_size < 1:
             raise ValueError("result_buffer_size must be at least 1")
         model.eval()
@@ -173,7 +181,7 @@ class PromptServer:
             self.router = ShardRouter(
                 model, dataset.graph, num_shards=num_shards,
                 num_workers=num_workers, strategy=shard_strategy,
-                backend=worker_backend)
+                backend=worker_backend, owner=shard_owner)
             # Candidate pools and query batches both flow through
             # encode_points — route them all through the shards.
             self.pipeline.point_encoder = self.router.encode_points
@@ -187,6 +195,18 @@ class PromptServer:
         self._mutable = self.config.mutable_graph
         if self._mutable:
             dataset.graph.compact_threshold = self.config.compact_threshold
+        # Durability: with a PersistentStore attached, the baseline
+        # snapshot is written once (no-op on a warm start over an existing
+        # store), every accepted update is WAL-logged *before* it is
+        # applied, and each open session keeps a manifest on disk — the
+        # three pieces :meth:`restore` warm-starts from.
+        self.persist = persist
+        self._session_open_index = 0
+        if persist is not None:
+            persist.initialize(dataset.graph, owner=self._owner_map())
+            self._session_open_index = persist.sessions.next_open_index()
+        #: WAL records re-applied by the most recent :meth:`restore`.
+        self.last_recovery_replayed = 0
         self._graph_updates = 0
         self._sessions_invalidated = 0
         self._queries = 0
@@ -216,6 +236,10 @@ class PromptServer:
                 state.augmenter.stats().stale_evictions
                 for state in self.sessions.states()))
 
+    def _owner_map(self) -> np.ndarray | None:
+        """Current shard-owner map (``None`` on the monolithic path)."""
+        return self.router.store.owner if self.router is not None else None
+
     def close(self) -> None:
         """Release the worker pool (no-op for the monolithic path)."""
         if self.router is not None:
@@ -231,8 +255,18 @@ class PromptServer:
     # Session lifecycle
     # ------------------------------------------------------------------
     def open_session(self, session_id: str, episode: Episode,
-                     shots: int = 3) -> SessionState:
-        """Bind ``session_id`` to an episode; encodes its pool once."""
+                     shots: int = 3, tenant_id: str | None = None,
+                     priority=None,
+                     _open_index: int | None = None) -> SessionState:
+        """Bind ``session_id`` to an episode; encodes its pool once.
+
+        ``tenant_id``/``priority`` are recorded in the session's durable
+        manifest (when a :class:`~repro.persist.PersistentStore` is
+        attached) so a restart — or a replica-set failover — can re-open
+        the session for its owner.  ``_open_index`` is the restore path's
+        override: re-opened sessions keep their original open order (the
+        per-open RNG draw sequence depends on it).
+        """
         pool, pool_labels = self.pipeline.select_candidate_pool(episode,
                                                                 shots)
         with scoped_registry(self.obs):
@@ -248,13 +282,36 @@ class PromptServer:
             episode=episode,
             graph_version=self.dataset.graph.version,
             dependent_nodes=self._dependencies(pool))
-        self.sessions.put(state)
+        evicted = self.sessions.put(state)
         self._sessions_opened += 1
+        if self.persist is not None:
+            for victim in evicted:
+                self.persist.sessions.remove(victim)
+            index = (self._session_open_index if _open_index is None
+                     else _open_index)
+            self._session_open_index = max(self._session_open_index,
+                                           index) + 1
+            self.persist.sessions.write(SessionManifest(
+                session_id=session_id, open_index=index, shots=shots,
+                graph_version=self.dataset.graph.version,
+                episode=episode_to_jsonable(episode),
+                tenant_id=tenant_id,
+                priority=None if priority is None else int(priority)))
         return state
 
     def close_session(self, session_id: str) -> SessionState | None:
         """Drop a session's cache and ledger; returns the final state."""
-        return self.sessions.close(session_id)
+        state = self.sessions.close(session_id)
+        if self.persist is not None and state is not None:
+            self.persist.sessions.remove(session_id)
+        return state
+
+    def _sweep_sessions(self) -> None:
+        """TTL sweep that also retires expired sessions' manifests."""
+        expired = self.sessions.sweep()
+        if self.persist is not None:
+            for session_id in expired:
+                self.persist.sessions.remove(session_id)
 
     # ------------------------------------------------------------------
     # Live graph updates (cache-epoch invalidation)
@@ -284,7 +341,8 @@ class PromptServer:
                 generator.subgraph_for(datapoint).nodes.tolist())
         return dependencies
 
-    def update_graph(self, update: GraphUpdate) -> AppliedUpdate:
+    def update_graph(self, update: GraphUpdate,
+                     log: bool = True) -> AppliedUpdate:
         """Apply one live mutation batch and invalidate what it touched.
 
         The graph (and, when sharded, the owner shards and worker pool)
@@ -293,11 +351,21 @@ class PromptServer:
         candidate pool re-encoded, Augmenter cache purged — before their
         next prediction.  Sessions outside the touched region keep their
         caches: their subgraphs provably cannot have changed.
+
+        With a :class:`~repro.persist.PersistentStore` attached, the
+        update is WAL-logged (and fsynced) *before* the in-memory apply —
+        a crash between the two replays the record on restart, a crash
+        mid-append tears the log's tail, which replay drops: either way
+        durability and memory agree.  ``log=False`` is the replay path
+        itself (re-applying an already-logged record must not re-log it).
         """
         if not self._mutable:
             raise RuntimeError(
                 "live graph updates require mutable_graph=True in the "
                 "model config")
+        if self.persist is not None and log:
+            self.persist.log_update(update,
+                                    base_version=self.dataset.graph.version)
         applied = self.dataset.graph.apply_updates(update)
         if self.router is not None:
             self.router.apply_updates(applied)
@@ -308,6 +376,36 @@ class PromptServer:
                 self._sessions_invalidated += 1
         self._graph_updates += 1
         return applied
+
+    def save_snapshot(self) -> int:
+        """Checkpoint the current graph (and owner map) into the store.
+
+        Compacts the WAL behind the snapshot.  Call between update
+        batches (the drain loop is synchronous, so any point outside
+        :meth:`update_graph` is quiescent).  Returns the snapshot's graph
+        version.
+        """
+        if self.persist is None:
+            raise RuntimeError(
+                "save_snapshot requires a PersistentStore (pass persist= "
+                "to the server)")
+        return self.persist.save_snapshot(self.dataset.graph,
+                                          owner=self._owner_map())
+
+    def refresh_sessions(self) -> int:
+        """Eagerly re-anchor every stale session; returns the count.
+
+        Staleness is normally resolved lazily (on a session's next
+        prediction); this forces the re-anchor now — e.g. to bound
+        first-query latency after a large update, or to align a reference
+        run with a freshly-recovered server in differential tests.
+        """
+        refreshed = 0
+        for state in self.sessions.states():
+            if state.stale:
+                self._refresh_session(state)
+                refreshed += 1
+        return refreshed
 
     def reload_model(self, state_dict: dict) -> None:
         """Swap in new model weights and re-anchor every live session.
@@ -355,7 +453,7 @@ class PromptServer:
         :class:`~repro.obs.TraceContext` that rides the queue and
         collects the batch tick's per-stage spans.
         """
-        self.sessions.sweep()
+        self._sweep_sessions()
         self.sessions.get(session_id)  # liveness check + recency touch
         return self.scheduler.submit(session_id, datapoint, trace=trace)
 
@@ -365,7 +463,7 @@ class PromptServer:
 
     def step(self, force: bool = False) -> list[ServeResult]:
         """Run one micro-batch if the release policy fires (or ``force``)."""
-        self.sessions.sweep()
+        self._sweep_sessions()
         if not (force or self.scheduler.ready()):
             return []
         batch = self.scheduler.next_batch()
@@ -483,3 +581,47 @@ class PromptServer:
                                    dataset.graph.num_relations, config)
         model.load_state_dict(state)
         return cls(model, dataset, **server_kwargs)
+
+    @classmethod
+    def restore(cls, model: GraphPrompterModel, persist: PersistentStore,
+                task: str, name: str | None = None,
+                **server_kwargs) -> "PromptServer":
+        """Warm-start a server from a :class:`~repro.persist.PersistentStore`.
+
+        The durable trio is rehydrated in order:
+
+        1. **snapshot** — the graph (and, when the dead server was
+           sharded, its owner map, so the restored partition is the same
+           partition, not a fresh strategy assignment);
+        2. **WAL replay** — every update logged after the snapshot is
+           re-applied through :meth:`update_graph` (``log=False``), which
+           routes each mutation through the graph *and* the shard store
+           exactly as live traffic did;
+        3. **session manifests** — sessions re-open in their original
+           open order (reproducing the per-open RNG draw sequence) with
+           their recorded tenant/priority.
+
+        By the serving stack's bit-identity contracts the restored server
+        answers every query exactly as the dead one would have.  The
+        replay count lands in ``last_recovery_replayed``.
+        """
+        start = time.perf_counter()
+        graph, owner = persist.load_graph()
+        dataset = Dataset(graph, task, name=name)
+        server = cls(model, dataset, persist=persist, shard_owner=owner,
+                     **server_kwargs)
+        replayed = persist.replay_records(
+            graph,
+            apply=lambda _graph, update: server.update_graph(update,
+                                                             log=False))
+        server.last_recovery_replayed = replayed
+        for manifest in persist.sessions.load_all():
+            server.open_session(
+                manifest.session_id,
+                episode_from_jsonable(manifest.episode),
+                shots=manifest.shots,
+                tenant_id=manifest.tenant_id,
+                priority=manifest.priority,
+                _open_index=manifest.open_index)
+        persist.record_recovery_seconds(time.perf_counter() - start)
+        return server

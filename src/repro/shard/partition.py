@@ -194,9 +194,26 @@ class ShardBuildContext:
 
 
 def partition_graph(graph: Graph, num_shards: int,
-                    strategy: str = "greedy") -> ShardPlan:
-    """Split ``graph`` into ``num_shards`` shards (see module docstring)."""
-    owner = partition_nodes(graph, num_shards, strategy)
+                    strategy: str = "greedy",
+                    owner: np.ndarray | None = None) -> ShardPlan:
+    """Split ``graph`` into ``num_shards`` shards (see module docstring).
+
+    ``owner`` overrides the strategy with an explicit per-node owner map —
+    the restore path: a recovered store must rebuild the *same* partition
+    the crashed process was serving (its snapshot records the owner map),
+    not a fresh strategy assignment over the mutated node set.
+    """
+    if owner is None:
+        owner = partition_nodes(graph, num_shards, strategy)
+    else:
+        owner = np.asarray(owner, dtype=np.int64)
+        if owner.shape != (graph.num_nodes,):
+            raise ValueError(
+                f"explicit owner map has shape {owner.shape}; expected "
+                f"({graph.num_nodes},)")
+        if owner.size and (owner.min() < 0 or owner.max() >= num_shards):
+            raise ValueError("explicit owner map references shards outside "
+                             f"[0, {num_shards})")
     context = ShardBuildContext(graph, owner)
     local_id = np.empty(graph.num_nodes, dtype=np.int64)
     shards = [context.build_shard(k, local_id) for k in range(num_shards)]

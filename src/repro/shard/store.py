@@ -95,8 +95,13 @@ class ShardedGraphStore:
 
     @classmethod
     def from_graph(cls, graph: Graph, num_shards: int,
-                   strategy: str = "greedy") -> "ShardedGraphStore":
-        return cls(graph, partition_graph(graph, num_shards, strategy))
+                   strategy: str = "greedy",
+                   owner: np.ndarray | None = None) -> "ShardedGraphStore":
+        """Partition ``graph`` and build a store; ``owner`` (restore path)
+        pins the partition to an explicit owner map instead of the
+        strategy's fresh assignment."""
+        return cls(graph, partition_graph(graph, num_shards, strategy,
+                                          owner=owner))
 
     def __getstate__(self):
         # Process workers only *read* the store; shipping the whole

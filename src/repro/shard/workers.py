@@ -22,8 +22,14 @@ histograms and counters stay exact whichever backend executed the work.
 The serial backend records straight into the ambient registry (no delta,
 no double count).
 
-A broken pool (e.g. a sandbox that forbids forking) degrades to the serial
-backend permanently instead of failing the request path.
+A broken pool (e.g. a killed worker, or a sandbox that forbids forking)
+is respawned with bounded exponential backoff — ``max_respawns`` fresh
+pools, each rebuilt by the same initializer — before the request path
+degrades to the serial backend permanently.  Respawns and degrades are
+counted in the ambient metrics registry
+(``repro_worker_pool_respawns_total`` /
+``repro_worker_pool_degrades_total``), so a fleet quietly limping on the
+serial fallback is visible on a dashboard instead of just slow.
 """
 
 from __future__ import annotations
@@ -89,17 +95,28 @@ class WorkerPool:
         only when ``num_workers > 1`` *and* the host has more than one
         usable core (a 1-core host pays IPC for zero parallelism);
         ``"process"`` forces a pool regardless.
+    max_respawns:
+        Fresh pools to try (with exponential backoff) when a map over the
+        process pool fails, before degrading to serial for the pool's
+        remaining life.
+    respawn_backoff_s:
+        Base backoff before the first respawn; doubles per attempt.
     """
 
     def __init__(self, initializer, initargs=(), num_workers: int = 1,
-                 backend: str = "auto"):
+                 backend: str = "auto", max_respawns: int = 2,
+                 respawn_backoff_s: float = 0.05):
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         if backend not in WORKER_BACKENDS:
             raise ValueError(f"unknown worker backend {backend!r}; "
                              f"use one of {WORKER_BACKENDS}")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
         self.num_workers = num_workers
         self.requested_backend = backend
+        self.max_respawns = max_respawns
+        self.respawn_backoff_s = respawn_backoff_s
         self._initializer = initializer
         self._initargs = tuple(initargs)
         self._context = None
@@ -108,15 +125,36 @@ class WorkerPool:
         if backend == "auto":
             resolved = ("process" if num_workers > 1 and usable_cores() > 1
                         else "serial")
-        if resolved == "process":
-            try:
-                ctx = multiprocessing.get_context(_pick_start_method())
-                self._pool = ctx.Pool(
-                    num_workers, initializer=_process_init,
-                    initargs=(initializer, self._initargs))
-            except Exception:
-                resolved = "serial"
+        if resolved == "process" and not self._spawn_pool():
+            resolved = "serial"
+            self._count_degrade()
         self.backend = resolved
+
+    # ------------------------------------------------------------------
+    def _spawn_pool(self) -> bool:
+        """Build a fresh process pool; ``False`` when the host refuses."""
+        try:
+            ctx = multiprocessing.get_context(_pick_start_method())
+            self._pool = ctx.Pool(
+                self.num_workers, initializer=_process_init,
+                initargs=(self._initializer, self._initargs))
+        except Exception:
+            self._pool = None
+            return False
+        return True
+
+    @staticmethod
+    def _count_respawn() -> None:
+        get_registry().counter(
+            "repro_worker_pool_respawns_total",
+            "Process pools respawned after a map failure.").inc()
+
+    @staticmethod
+    def _count_degrade() -> None:
+        get_registry().counter(
+            "repro_worker_pool_degrades_total",
+            "Worker pools permanently degraded to the serial backend.",
+        ).inc()
 
     # ------------------------------------------------------------------
     def _serial_context(self):
@@ -133,15 +171,34 @@ class WorkerPool:
         if not tasks:
             return []
         if self._pool is not None:
-            try:
-                outputs = self._pool.map(_process_call,
-                                         [(fn, task) for task in tasks])
-            except Exception:
-                # The pool died (forbidden fork, killed worker): degrade to
-                # serial for the rest of this pool's life.
-                self.close()
-                self.backend = "serial"
-            else:
+            payloads = [(fn, task) for task in tasks]
+            outputs = None
+            attempts_left = self.max_respawns
+            while True:
+                try:
+                    outputs = self._pool.map(_process_call, payloads)
+                    break
+                except Exception:
+                    # The pool died (forbidden fork, killed worker).
+                    # Bounded retry: respawn a fresh pool with backoff;
+                    # only when every respawn also fails does the pool
+                    # degrade to serial for the rest of its life.
+                    self.close()
+                    if attempts_left <= 0:
+                        self.backend = "serial"
+                        self._count_degrade()
+                        break
+                    backoff = self.respawn_backoff_s * (
+                        2 ** (self.max_respawns - attempts_left))
+                    attempts_left -= 1
+                    if backoff > 0:
+                        time.sleep(backoff)
+                    self._count_respawn()
+                    if not self._spawn_pool():
+                        self.backend = "serial"
+                        self._count_degrade()
+                        break
+            if outputs is not None:
                 # Fold each worker's metric delta into the host registry;
                 # the public return shape stays (result, busy_seconds).
                 registry = get_registry()

@@ -764,3 +764,97 @@ class TestStatsWiring:
         assert tenant.shard_requests <= sum(c.requests
                                             for c in stats.shards)
         assert tenant.completed == 4
+
+
+# ----------------------------------------------------------------------
+# Shutdown under load: complete or typed Unavailable, never hang
+# ----------------------------------------------------------------------
+class TestShutdownUnderLoad:
+    def test_abort_settles_every_inflight_request(self, served):
+        from repro.serving import Unavailable
+        from repro.serving.qos import UNAVAILABLE_SHUTDOWN
+
+        dataset, config, model = served
+        episode = sample_episode(dataset, num_ways=3, num_queries=6, rng=41)
+
+        async def main():
+            server = PromptServer(model, dataset, rng=0)
+            gateway = ServingGateway(server, auto_drain=False)
+            gateway.open_session("t", "s", episode, priority=Priority.BATCH)
+            queued = [gateway.submit_nowait("s", episode.queries[q])
+                      for q in range(4)]
+            settled = gateway.abort()
+            assert settled == 4
+            for future in queued:
+                assert future.done()
+                outcome = future.result()
+                assert isinstance(outcome, Unavailable)
+                assert not outcome.ok
+                assert outcome.reason == UNAVAILABLE_SHUTDOWN
+                assert outcome.tenant_id == "t"
+                assert outcome.priority == Priority.BATCH
+            assert gateway.closed
+            assert gateway.abort() == 0  # idempotent
+            with pytest.raises(RuntimeError):
+                gateway.submit_nowait("s", episode.queries[4])
+            await gateway.close()  # close after abort is a clean no-op
+
+        run(main())
+
+    def test_close_without_drain_settles_instead_of_serving(self, served):
+        from repro.serving import Unavailable
+
+        dataset, config, model = served
+        episode = sample_episode(dataset, num_ways=3, num_queries=6, rng=42)
+
+        async def main():
+            server = PromptServer(model, dataset, rng=0)
+            gateway = ServingGateway(server, auto_drain=False)
+            gateway.open_session("t", "s", episode)
+            queued = [gateway.submit_nowait("s", episode.queries[q])
+                      for q in range(3)]
+            await asyncio.wait_for(gateway.close(drain=False), timeout=30)
+            assert all(f.done() for f in queued)
+            assert all(isinstance(f.result(), Unavailable) for f in queued)
+
+        run(main())
+
+    def test_close_with_drain_completes_inflight(self, served):
+        dataset, config, model = served
+        episode = sample_episode(dataset, num_ways=3, num_queries=6, rng=43)
+
+        async def main():
+            server = PromptServer(model, dataset, rng=0)
+            gateway = ServingGateway(server, auto_drain=False)
+            gateway.open_session("t", "s", episode)
+            queued = [gateway.submit_nowait("s", episode.queries[q])
+                      for q in range(4)]
+            await asyncio.wait_for(gateway.close(), timeout=60)
+            # Graceful path: everything admitted was *served*, not voided.
+            assert all(f.done() and f.result().ok for f in queued)
+
+        run(main())
+
+    def test_abort_with_background_drain_running(self, served):
+        """Abort racing the auto-drain pump: every future still settles
+        (served or typed Unavailable), and the loop shuts down clean."""
+        dataset, config, model = served
+        episode = sample_episode(dataset, num_ways=3, num_queries=8, rng=44)
+
+        async def main():
+            server = PromptServer(model, dataset, rng=0)
+            gateway = ServingGateway(server, max_batch_size=2,
+                                     max_wait_s=0.0)  # auto_drain on
+            gateway.open_session("t", "s", episode)
+            queued = [gateway.submit_nowait("s", episode.queries[q])
+                      for q in range(8)]
+            from repro.serving import GatewayResult, Unavailable
+            await asyncio.sleep(0)  # let the pump start a batch
+            gateway.abort()
+            for future in queued:
+                outcome = await asyncio.wait_for(future, timeout=30)
+                assert isinstance(outcome, (GatewayResult, Unavailable))
+            assert gateway.closed
+            await gateway.close()
+
+        run(main())

@@ -1,0 +1,646 @@
+"""Tests for the durability tier: atomic writes, WAL, snapshots,
+manifests, checksummed weights, crash recovery, and replica failover."""
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphPrompterConfig,
+    GraphPrompterModel,
+    PretrainConfig,
+    Pretrainer,
+    sample_episode,
+)
+from repro.datasets import Dataset, EDGE_TASK
+from repro.datasets.synthetic import synthetic_knowledge_graph
+from repro.graph import GraphUpdate
+from repro.nn import load_state, save_state
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import scoped_registry
+from repro.persist import (
+    CorruptArtifactError,
+    PersistentStore,
+    SessionManifest,
+    SessionManifestStore,
+    WriteAheadLog,
+    atomic_write,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.persist.wal import update_from_jsonable, update_to_jsonable
+from repro.serving import (
+    Priority,
+    PromptServer,
+    ReplicaSet,
+    ServingGateway,
+    Unavailable,
+)
+from repro.shard.workers import WorkerPool
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def small_graph(rng=0, name="kg-persist"):
+    return synthetic_knowledge_graph(200, 6, 1200, rng=rng, name=name)
+
+
+def seeded_update(graph, rng, num_add=8, num_remove=4, num_new_nodes=0):
+    rng = np.random.default_rng(rng)
+    total = graph.num_nodes + num_new_nodes
+    _, _, _, live = graph.live_edges()
+    features = (rng.normal(size=(num_new_nodes, graph.feature_dim))
+                if num_new_nodes else None)
+    return GraphUpdate(
+        add_src=rng.integers(0, total, size=num_add),
+        add_dst=rng.integers(0, total, size=num_add),
+        add_rel=rng.integers(0, graph.num_relations, size=num_add),
+        remove_edges=rng.choice(live, size=num_remove, replace=False),
+        add_node_features=features)
+
+
+# ----------------------------------------------------------------------
+# atomic_write
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_writes_and_cleans_up(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("hello")
+        with open(path) as handle:
+            assert handle.read() == "hello"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_preserves_previous_contents(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("v1")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial v2")
+                raise RuntimeError("crash mid-write")
+        with open(path) as handle:
+            assert handle.read() == "v1"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_binary_mode(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path, mode="wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"\x00\x01\x02"
+
+
+# ----------------------------------------------------------------------
+# Checksummed module weights (nn.save_state / load_state)
+# ----------------------------------------------------------------------
+class TestCheckpointChecksums:
+    @pytest.fixture()
+    def model_and_path(self, tmp_path):
+        config = GraphPrompterConfig(hidden_dim=8, num_gnn_layers=1)
+        model = GraphPrompterModel(12, 4, config)
+        path = str(tmp_path / "model.npz")
+        save_state(model, path)
+        return config, model, path
+
+    def test_round_trip(self, model_and_path):
+        config, model, path = model_and_path
+        other = GraphPrompterModel(12, 4, config)
+        load_state(other, path)
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(other.state_dict()[key], value)
+
+    def test_truncated_file_raises_typed_error(self, model_and_path):
+        _, _, path = model_and_path
+        config = GraphPrompterConfig(hidden_dim=8, num_gnn_layers=1)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        with pytest.raises(CorruptArtifactError):
+            load_state(GraphPrompterModel(12, 4, config), path)
+
+    def test_bit_flip_raises_typed_error(self, model_and_path):
+        _, _, path = model_and_path
+        config = GraphPrompterConfig(hidden_dim=8, num_gnn_layers=1)
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        # Flip a byte deep in the payload (past the zip header).
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CorruptArtifactError):
+            load_state(GraphPrompterModel(12, 4, config), path)
+
+    def test_legacy_file_without_checksum_loads(self, model_and_path):
+        config, model, path = model_and_path
+        legacy = path + ".legacy.npz"
+        np.savez(legacy, **{k: np.asarray(v)
+                            for k, v in model.state_dict().items()})
+        other = GraphPrompterModel(12, 4, config)
+        load_state(other, legacy)
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(other.state_dict()[key], value)
+
+
+# ----------------------------------------------------------------------
+# Write-ahead log
+# ----------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_append_records_round_trip(self, tmp_path):
+        graph = small_graph()
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        updates = [seeded_update(graph, 1),
+                   seeded_update(graph, 2, num_new_nodes=2)]
+        for i, update in enumerate(updates):
+            assert wal.append(update, base_version=i) == i
+        records = list(wal.records())
+        assert [r.seq for r in records] == [0, 1]
+        for record, update in zip(records, updates):
+            np.testing.assert_array_equal(record.update.add_src,
+                                          update.add_src)
+            np.testing.assert_array_equal(record.update.remove_edges,
+                                          update.remove_edges)
+        feats = records[1].update.add_node_features
+        np.testing.assert_array_equal(feats, updates[1].add_node_features)
+        assert feats.dtype == np.float64  # exact float64 round-trip
+
+    def test_update_jsonable_round_trip_exact(self):
+        graph = small_graph()
+        update = seeded_update(graph, 3, num_new_nodes=1)
+        back = update_from_jsonable(update_to_jsonable(update))
+        np.testing.assert_array_equal(back.add_src, update.add_src)
+        np.testing.assert_array_equal(back.add_node_features,
+                                      update.add_node_features)
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        graph = small_graph()
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append(seeded_update(graph, 1), base_version=0)
+        wal.append(seeded_update(graph, 2), base_version=1)
+        with open(wal.path) as handle:
+            line = handle.readlines()[-1]
+        with open(wal.path, "a") as handle:
+            handle.write(line[:len(line) // 2])  # death mid-append
+        assert [r.seq for r in wal.records()] == [0, 1]
+        # A fresh handle picks the next sequence past the intact tail.
+        fresh = WriteAheadLog(wal.path)
+        assert fresh.append(seeded_update(graph, 3), base_version=2) == 2
+
+    def test_corruption_before_intact_records_raises(self, tmp_path):
+        graph = small_graph()
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append(seeded_update(graph, 1), base_version=0)
+        wal.append(seeded_update(graph, 2), base_version=1)
+        with open(wal.path) as handle:
+            lines = handle.readlines()
+        lines[0] = "{not json at all\n"  # damage *before* an intact record
+        with open(wal.path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(CorruptArtifactError):
+            list(wal.records())
+
+    def test_crc_mismatch_raises(self, tmp_path):
+        graph = small_graph()
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"))
+        wal.append(seeded_update(graph, 1), base_version=0)
+        wal.append(seeded_update(graph, 2), base_version=1)
+        with open(wal.path) as handle:
+            lines = handle.readlines()
+        first = json.loads(lines[0])
+        first["crc"] = (first["crc"] + 1) & 0xFFFFFFFF
+        lines[0] = json.dumps(first, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+        with open(wal.path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(CorruptArtifactError):
+            list(wal.records())
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+class TestSnapshot:
+    def test_round_trip_after_mutation(self, tmp_path):
+        graph = small_graph()
+        graph.apply_updates(seeded_update(graph, 1, num_new_nodes=2))
+        owner = np.arange(graph.num_nodes, dtype=np.int64) % 2
+        path = str(tmp_path / "snap.npz")
+        write_snapshot(path, graph, wal_seq=3, owner=owner)
+        restored, wal_seq, restored_owner = load_snapshot(path)
+        assert wal_seq == 3
+        assert restored.version == graph.version
+        np.testing.assert_array_equal(restored_owner, owner)
+        np.testing.assert_array_equal(restored.node_features,
+                                      graph.node_features)
+        for a, b in zip(restored.live_edges(), graph.live_edges()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_corruption_raises_typed_error(self, tmp_path):
+        graph = small_graph()
+        path = str(tmp_path / "snap.npz")
+        write_snapshot(path, graph)
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CorruptArtifactError):
+            load_snapshot(path)
+
+    def test_truncation_raises_typed_error(self, tmp_path):
+        graph = small_graph()
+        path = str(tmp_path / "snap.npz")
+        write_snapshot(path, graph)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 3])
+        with pytest.raises(CorruptArtifactError):
+            load_snapshot(path)
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        store = PersistentStore(str(tmp_path / "store"))
+        with pytest.raises(CorruptArtifactError):
+            store.load_graph()
+
+
+# ----------------------------------------------------------------------
+# Session manifests
+# ----------------------------------------------------------------------
+class TestSessionManifests:
+    def test_round_trip_preserves_order_and_fields(self, tmp_path):
+        graph = small_graph()
+        dataset = Dataset(graph, EDGE_TASK, rng=0)
+        episode = sample_episode(dataset, num_ways=3, num_queries=4, rng=1)
+        store = SessionManifestStore(str(tmp_path / "sessions"))
+        from repro.persist import episode_to_jsonable
+        for index, sid in enumerate(["b", "a"]):
+            store.write(SessionManifest(
+                session_id=sid, open_index=index, shots=3,
+                graph_version=0, episode=episode_to_jsonable(episode),
+                tenant_id=f"tenant-{sid}",
+                priority=int(Priority.BATCH)))
+        loaded = store.load_all()
+        assert [m.session_id for m in loaded] == ["b", "a"]  # open order
+        assert loaded[0].tenant_id == "tenant-b"
+        assert loaded[0].priority == int(Priority.BATCH)
+        assert store.next_open_index() == 2
+        store.remove("b")
+        assert [m.session_id for m in store.load_all()] == ["a"]
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = SessionManifestStore(str(tmp_path / "sessions"))
+        path = os.path.join(str(tmp_path / "sessions"),
+                            "session-ff.json")
+        with open(path, "w") as handle:
+            handle.write('{"session_id": "ff", trunc')
+        with pytest.raises(CorruptArtifactError):
+            store.load_all()
+
+
+# ----------------------------------------------------------------------
+# PersistentStore: replay semantics
+# ----------------------------------------------------------------------
+class TestPersistentStoreReplay:
+    def test_duplicate_delivery_is_a_noop(self, tmp_path):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            graph = small_graph()
+            store = PersistentStore(str(tmp_path / "store"))
+            store.initialize(graph)
+            update = seeded_update(graph, 1)
+            # The same update delivered twice (e.g. a retried producer).
+            store.log_update(update, base_version=graph.version)
+            store.log_update(update, base_version=graph.version)
+            recovered, _, replayed = store.recover()
+        assert replayed == 1  # the duplicate is skipped, not re-applied
+        reference = small_graph()
+        reference.apply_updates(seeded_update(reference, 1))
+        assert recovered.version == reference.version
+        for a, b in zip(recovered.live_edges(), reference.live_edges()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_replay_is_idempotent_over_recovered_graph(self, tmp_path):
+        graph = small_graph()
+        store = PersistentStore(str(tmp_path / "store"))
+        store.initialize(graph)
+        store.log_update(seeded_update(graph, 1), base_version=0)
+        recovered, _, replayed = store.recover()
+        assert replayed == 1
+        # Replaying the whole log again over the same graph applies none.
+        assert store.replay_records(recovered) == 0
+
+    def test_record_ahead_of_graph_raises(self, tmp_path):
+        graph = small_graph()
+        store = PersistentStore(str(tmp_path / "store"))
+        store.initialize(graph)
+        store.log_update(seeded_update(graph, 1), base_version=7)
+        with pytest.raises(CorruptArtifactError):
+            store.recover()
+
+    def test_snapshot_compacts_wal(self, tmp_path):
+        graph = small_graph()
+        store = PersistentStore(str(tmp_path / "store"))
+        store.initialize(graph)
+        update = seeded_update(graph, 1)
+        store.log_update(update, base_version=graph.version)
+        graph.apply_updates(update)
+        assert len(store.wal) == 1
+        store.save_snapshot(graph)
+        assert len(store.wal) == 0  # absorbed records dropped
+        recovered, _, replayed = store.recover()
+        assert replayed == 0 and recovered.version == graph.version
+
+
+# ----------------------------------------------------------------------
+# Real kill -9 at the write-ahead point (graph + WAL level)
+# ----------------------------------------------------------------------
+CRASH_CHILD = """
+import os, signal, numpy as np
+from repro.datasets.synthetic import synthetic_knowledge_graph
+from repro.graph import GraphUpdate
+from repro.persist import PersistentStore
+
+graph = synthetic_knowledge_graph(120, 5, 600, rng=0, name="kg-crash")
+store = PersistentStore({store_dir!r})
+store.initialize(graph)
+
+def update(seed):
+    rng = np.random.default_rng(seed)
+    _, _, _, live = graph.live_edges()
+    return GraphUpdate(
+        add_src=rng.integers(0, graph.num_nodes, size=6),
+        add_dst=rng.integers(0, graph.num_nodes, size=6),
+        add_rel=rng.integers(0, graph.num_relations, size=6),
+        remove_edges=rng.choice(live, size=3, replace=False))
+
+u1 = update(1)
+store.log_update(u1, base_version=graph.version)
+graph.apply_updates(u1)
+u2 = update(2)
+store.log_update(u2, base_version=graph.version)
+os.kill(os.getpid(), signal.SIGKILL)  # crash before applying u2
+"""
+
+
+class TestKillNineRecovery:
+    def test_recover_after_sigkill_matches_uninterrupted(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             CRASH_CHILD.format(store_dir=store_dir)],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr[-2000:]
+
+        recovered, _, replayed = PersistentStore(store_dir).recover()
+        assert replayed == 2  # u1 and the durable-but-unapplied u2
+
+        reference = synthetic_knowledge_graph(120, 5, 600, rng=0,
+                                              name="kg-crash")
+        for seed in (1, 2):
+            rng = np.random.default_rng(seed)
+            _, _, _, live = reference.live_edges()
+            reference.apply_updates(GraphUpdate(
+                add_src=rng.integers(0, reference.num_nodes, size=6),
+                add_dst=rng.integers(0, reference.num_nodes, size=6),
+                add_rel=rng.integers(0, reference.num_relations, size=6),
+                remove_edges=rng.choice(live, size=3, replace=False)))
+        assert recovered.version == reference.version
+        np.testing.assert_array_equal(recovered.node_features,
+                                      reference.node_features)
+        for a, b in zip(recovered.live_edges(), reference.live_edges()):
+            np.testing.assert_array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Server-level crash recovery (bit-identical serving)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served():
+    """A briefly pre-trained model + dataset for recovery tests."""
+    graph = synthetic_knowledge_graph(300, 8, 2400, rng=0, name="kg-dur")
+    dataset = Dataset(graph, EDGE_TASK, rng=0)
+    config = GraphPrompterConfig(hidden_dim=12, max_subgraph_nodes=10,
+                                 num_gnn_layers=2, mutable_graph=True)
+    model = GraphPrompterModel(dataset.graph.feature_dim,
+                               dataset.graph.num_relations, config)
+    Pretrainer(model, dataset, PretrainConfig(steps=60, num_ways=4),
+               rng=0).train()
+    return config, model
+
+
+def fresh_workload(config, seed=0, num_sessions=2, num_queries=6):
+    graph = synthetic_knowledge_graph(300, 8, 2400, rng=0, name="kg-dur")
+    dataset = Dataset(graph, EDGE_TASK, rng=seed)
+    episodes = [sample_episode(dataset, num_ways=3,
+                               num_queries=num_queries, rng=seed * 50 + i)
+                for i in range(num_sessions)]
+    return dataset, episodes
+
+
+def touching_update(graph, episodes, seed):
+    """An update whose added edges hit every episode's first candidate."""
+    rng = np.random.default_rng(seed)
+    seeds = np.array(sorted({int(ep.candidates[0].nodes[0])
+                             for ep in episodes}), dtype=np.int64)
+    _, _, _, live = graph.live_edges()
+    return GraphUpdate(
+        add_src=np.concatenate(
+            [seeds, rng.integers(0, graph.num_nodes, size=4)]),
+        add_dst=rng.integers(0, graph.num_nodes, size=seeds.size + 4),
+        add_rel=rng.integers(0, graph.num_relations, size=seeds.size + 4),
+        remove_edges=rng.choice(live, size=3, replace=False))
+
+
+class TestServerRecovery:
+    @pytest.mark.parametrize("num_shards", [1, 2])
+    def test_restore_is_bit_identical(self, served, tmp_path, num_shards):
+        config, model = served
+        kwargs = dict(max_batch_size=4, rng=11, num_shards=num_shards,
+                      num_workers=num_shards, worker_backend="serial")
+
+        def timeline(server, episodes):
+            """Rounds 0-1 around one applied update; returns the update
+            that is durable but (on the doomed side) never applied."""
+            for i, episode in enumerate(episodes):
+                server.open_session(f"s{i}", episode)
+            graph = server.dataset.graph
+            for q in (0, 1):
+                for i, episode in enumerate(episodes):
+                    server.submit(f"s{i}", episode.queries[q])
+            server.drain()
+            server.update_graph(touching_update(graph, episodes, 5))
+            for i, episode in enumerate(episodes):
+                server.submit(f"s{i}", episode.queries[2])
+            server.drain()
+            return touching_update(graph, episodes, 6)
+
+        def final_round(server, episodes):
+            for q in (3, 4):
+                for i, episode in enumerate(episodes):
+                    server.submit(f"s{i}", episode.queries[q])
+            return [(r.session_id, r.prediction, r.confidence)
+                    for r in server.drain()]
+
+        # Doomed run: log the second update, crash before applying.
+        dataset, episodes = fresh_workload(config)
+        store = PersistentStore(str(tmp_path / "store"))
+        doomed = PromptServer(model, dataset, persist=store, **kwargs)
+        unapplied = timeline(doomed, episodes)
+        store.log_update(unapplied,
+                         base_version=doomed.dataset.graph.version)
+        doomed.close()
+
+        # Uninterrupted reference: same timeline, update applied.
+        ref_dataset, ref_episodes = fresh_workload(config)
+        reference = PromptServer(model, ref_dataset, **kwargs)
+        reference.update_graph(timeline(reference, ref_episodes))
+        expected = final_round(reference, ref_episodes)
+        reference.close()
+
+        recovered = PromptServer.restore(
+            model, PersistentStore(str(tmp_path / "store")), EDGE_TASK,
+            **kwargs)
+        assert recovered.last_recovery_replayed == 2
+        assert len(recovered.sessions) == len(episodes)
+        got = final_round(recovered, ref_episodes)
+        recovered.close()
+        assert got == expected
+
+    def test_restore_from_corrupt_snapshot_raises(self, served, tmp_path):
+        config, model = served
+        dataset, episodes = fresh_workload(config)
+        store = PersistentStore(str(tmp_path / "store"))
+        server = PromptServer(model, dataset, persist=store, rng=1)
+        server.open_session("s0", episodes[0])
+        server.close()
+        with open(store.snapshot_path, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(store.snapshot_path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CorruptArtifactError):
+            PromptServer.restore(model, PersistentStore(store.directory),
+                                 EDGE_TASK, rng=1)
+
+
+# ----------------------------------------------------------------------
+# ReplicaSet failover
+# ----------------------------------------------------------------------
+class TestReplicaSetFailover:
+    def test_kill_settles_inflight_and_survivor_serves(self, served,
+                                                       tmp_path):
+        config, model = served
+        store = PersistentStore(str(tmp_path / "store"))
+        _, episodes = fresh_workload(config, num_sessions=3)
+        tenants = [f"tenant-{i}" for i in range(3)]
+
+        def factory(replica_id):
+            dataset, _ = fresh_workload(config)
+            server = PromptServer(model, dataset, max_batch_size=4,
+                                  rng=11, persist=store)
+            return ServingGateway(server, auto_drain=False)
+
+        async def main():
+            rs = ReplicaSet(factory, num_replicas=2, store=store)
+            for i, tenant in enumerate(tenants):
+                rs.open_session(tenant, f"{tenant}-s", episodes[i])
+            victim = rs.route(tenants[0])
+            inflight = [
+                rs.replicas[victim].submit_nowait(
+                    f"{tenant}-s", episodes[i].queries[0])
+                for i, tenant in enumerate(tenants)
+                if rs.route(tenant) == victim]
+            settled = rs.kill(victim)
+            assert settled == len(inflight)
+            for future in inflight:
+                assert future.done()
+                assert isinstance(future.result(), Unavailable)
+            assert rs.healthy_replicas() == [1 - victim]
+            # Every tenant re-routes and is served by the survivor
+            # (auto_drain is off, so flush the survivor explicitly).
+            survivor = 1 - victim
+            futures = []
+            for i, tenant in enumerate(tenants):
+                assert rs.route(tenant) == survivor
+                futures.append(rs.replicas[survivor].submit_nowait(
+                    f"{tenant}-s", episodes[i].queries[1]))
+            await asyncio.wait_for(rs.replicas[survivor].flush(),
+                                   timeout=60)
+            assert all(f.done() and f.result().ok for f in futures)
+            assert all(rs.route(t) == 1 - victim for t in tenants)
+            await rs.close()
+
+        asyncio.run(main())
+
+    def test_update_logged_once_and_fanned_out(self, served, tmp_path):
+        config, model = served
+        store = PersistentStore(str(tmp_path / "store"))
+        _, episodes = fresh_workload(config, num_sessions=1)
+
+        def factory(replica_id):
+            dataset, _ = fresh_workload(config)
+            server = PromptServer(model, dataset, max_batch_size=4,
+                                  rng=11, persist=store)
+            return ServingGateway(server, auto_drain=False)
+
+        async def main():
+            rs = ReplicaSet(factory, num_replicas=2, store=store)
+            graph = rs.replicas[0].server.dataset.graph
+            await rs.update_graph(touching_update(graph, episodes, 5))
+            versions = {g.server.dataset.graph.version
+                        for g in rs.replicas}
+            assert versions == {graph.version}  # fleet version-aligned
+            assert len(store.wal) == 1  # logged exactly once
+            await rs.close()
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# WorkerPool bounded retry + degrade
+# ----------------------------------------------------------------------
+def _pool_context():
+    return "ctx"
+
+
+def _fails_in_worker_process(context, task):
+    if multiprocessing.current_process().name != "MainProcess":
+        raise RuntimeError("worker-only failure")
+    return task * 2
+
+
+class TestWorkerPoolRetry:
+    def test_respawn_then_degrade_serves_and_counts(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            pool = WorkerPool(_pool_context, num_workers=2,
+                              backend="process", max_respawns=1,
+                              respawn_backoff_s=0.0)
+            if pool.backend != "process":
+                pool.close()
+                pytest.skip("process pool unavailable on this host")
+            results = pool.map(_fails_in_worker_process, [1, 2, 3])
+            assert [r for r, _ in results] == [2, 4, 6]
+            assert pool.backend == "serial"  # permanently degraded
+            # Degraded pools keep serving without touching processes.
+            again = pool.map(_fails_in_worker_process, [4])
+            assert again[0][0] == 8
+            pool.close()
+        respawns = registry.counter(
+            "repro_worker_pool_respawns_total").value()
+        degrades = registry.counter(
+            "repro_worker_pool_degrades_total").value()
+        assert respawns == 1.0 and degrades == 1.0
