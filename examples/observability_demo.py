@@ -10,7 +10,12 @@ timings, kernel stage profiles — and this demo watches it move:
    registry (no scrape endpoint needed);
 3. after the burst, the full Prometheus exposition is rendered via
    :func:`repro.obs.scrape` and one sampled trace's per-stage latency
-   breakdown (admission → queue → encode → predict → total) is shown.
+   breakdown (admission → queue → encode → predict → total) is shown;
+4. a durability mini-cycle (WAL-logged graph updates → snapshot →
+   warm-start recovery → a replica kill with tenant failover) runs in
+   the same registry so the persist-tier counters
+   (``repro_wal_appends_total``, ``repro_snapshot_writes_total``,
+   ``repro_recovery_*``, ``repro_replicaset_*``) are live too.
 
 Tracing is sampled with a counter, not an RNG, so the predictions here
 are bit-identical to running the same burst untraced.
@@ -19,6 +24,10 @@ Run:  python examples/observability_demo.py      (~1 min)
 """
 
 import asyncio
+import os
+import tempfile
+
+import numpy as np
 
 from repro.core import (
     GraphPrompterConfig,
@@ -28,8 +37,15 @@ from repro.core import (
     sample_episode,
 )
 from repro.datasets import Dataset, load_dataset
+from repro.graph import GraphUpdate
 from repro.obs import MetricsRegistry, scrape
-from repro.serving import Priority, PromptServer, ServingGateway
+from repro.persist import PersistentStore
+from repro.serving import (
+    Priority,
+    PromptServer,
+    ReplicaSet,
+    ServingGateway,
+)
 
 QUERIES = 6
 TENANTS = [
@@ -86,10 +102,91 @@ async def main_async(model, dataset, episodes):
     for stage, seconds in trace.stage_seconds().items():
         print(f"     {stage:<16} {1e6 * seconds:>9.1f} us")
     await gateway.close()
+    await durability_cycle(registry, model, dataset)
+
+
+async def durability_cycle(registry, model, dataset):
+    """WAL → snapshot → recovery → replica failover, counters printed.
+
+    Same registry as the burst, so the persist-tier series sit next to
+    the gateway ones — exactly how a production scrape would see them.
+    """
+    print("\n5. durability: WAL → snapshot → recovery → replica kill …")
+    with tempfile.TemporaryDirectory(prefix="repro-demo-") as tmp:
+        base = Dataset(dataset.graph.rebuild(), dataset.task, rng=0,
+                       name="kg-demo")
+        store = PersistentStore(tmp, registry=registry)
+        server = PromptServer(model, base, max_batch_size=4, rng=0,
+                              persist=store, registry=registry)
+        episode = sample_episode(base, num_ways=5, num_queries=2, rng=42)
+        server.open_session("durable", episode, tenant_id="dashboard")
+        rng = np.random.default_rng(11)
+        server.update_graph(GraphUpdate(
+            add_src=rng.integers(0, base.graph.num_nodes, size=4),
+            add_dst=rng.integers(0, base.graph.num_nodes, size=4),
+            add_rel=rng.integers(0, base.graph.num_relations, size=4)))
+        server.save_snapshot()
+        server.update_graph(GraphUpdate(
+            add_src=rng.integers(0, base.graph.num_nodes, size=2),
+            add_dst=rng.integers(0, base.graph.num_nodes, size=2),
+            add_rel=rng.integers(0, base.graph.num_relations, size=2)))
+        server.close()
+        recovered = PromptServer.restore(
+            model, PersistentStore(tmp, registry=registry), base.task,
+            name="kg-demo", rng=0, max_batch_size=4, registry=registry)
+        replayed = recovered.last_recovery_replayed
+        recovered.close()
+
+        fleet_store = PersistentStore(os.path.join(tmp, "fleet"),
+                                      registry=registry)
+
+        def factory(replica_id):
+            replica_data = Dataset(dataset.graph.rebuild(), dataset.task,
+                                   rng=0, name="kg-demo-fleet")
+            replica = PromptServer(model, replica_data, max_batch_size=4,
+                                   rng=0, persist=fleet_store,
+                                   registry=registry)
+            return ServingGateway(replica, auto_drain=False,
+                                  registry=registry)
+
+        fleet = ReplicaSet(factory, num_replicas=2, store=fleet_store,
+                           registry=registry)
+        episodes = {}
+        for index, (tenant, priority) in enumerate(TENANTS):
+            episodes[tenant] = sample_episode(base, num_ways=5,
+                                              num_queries=2,
+                                              rng=50 + index)
+            fleet.open_session(tenant, f"{tenant}-d", episodes[tenant],
+                               priority=priority)
+        fleet.kill(fleet.route(TENANTS[0][0]))
+        served = 0
+        for tenant, _ in TENANTS:
+            gateway = fleet.replicas[fleet.route(tenant)]
+            future = gateway.submit_nowait(f"{tenant}-d",
+                                           episodes[tenant].queries[1])
+            await gateway.flush()
+            served += bool(isinstance(future, asyncio.Future)
+                           and future.result().ok)
+        await fleet.close()
+
+    def total(name):
+        return registry.counter(name).sum()
+
+    recovery = registry.histogram("repro_recovery_seconds")
+    print(f"   wal_appends={total('repro_wal_appends_total'):.0f} "
+          f"snapshot_writes={total('repro_snapshot_writes_total'):.0f} "
+          f"recovery_replayed={replayed} "
+          f"recovery_mean_ms={1e3 * recovery.mean():.1f}")
+    print(f"   replica_kills={total('repro_replicaset_kills_total'):.0f} "
+          f"failovers={total('repro_replicaset_failovers_total'):.0f} "
+          f"served_after_failover={served}/{len(TENANTS)} "
+          f"worker_respawns="
+          f"{total('repro_worker_pool_respawns_total'):.0f}")
 
 
 def main():
-    config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16)
+    config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16,
+                                 mutable_graph=True)
     wiki = load_dataset("wiki")
     nell = load_dataset("nell")
 

@@ -86,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'list', 'bench', "
-             "or 'metrics'",
+             "'metrics', or 'serve-bench-scenarios'",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -117,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.cli import metrics_main
 
         return metrics_main(argv[1:])
+    if argv and argv[0] == "serve-bench-scenarios":
+        # Workload scenario matrix (own flags: --scenarios/--baseline/
+        # --prom-dir/...): generated traces, SLO verdicts, per-scenario
+        # regression gates against BENCH_scenarios.json.
+        from .experiments.scenarios import scenarios_main
+
+        return scenarios_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
@@ -125,6 +132,8 @@ def main(argv: list[str] | None = None) -> int:
                             "hot-path microbenchmarks + perf-regression check")
         entries["metrics"] = (None,
                               "instrumented burst -> Prometheus exposition")
+        entries["serve-bench-scenarios"] = (
+            None, "workload scenario matrix + SLO verdicts + gates")
         width = max(len(name) for name in entries)
         for name in sorted(entries):
             print(f"  {name:<{width}}  {entries[name][1]}")

@@ -87,8 +87,8 @@ class GraphPrompterPipeline:
             self.augmenter.reset()
 
         with no_grad():
-            candidate_emb, candidate_importance, pool_labels = \
-                self.encode_candidate_pool(episode, shots)
+            candidate_emb, candidate_importance, pool_labels = (
+                self.encode_candidate_pool(episode, shots))
 
             predictions: list[np.ndarray] = []
             confidences: list[np.ndarray] = []
@@ -163,8 +163,8 @@ class GraphPrompterPipeline:
         """Embeddings/importance/labels of the episode's prompt pool."""
         candidate_pool, pool_labels = self.select_candidate_pool(episode,
                                                                  shots)
-        candidate_emb, candidate_importance = \
-            self.encode_points(candidate_pool)
+        candidate_emb, candidate_importance = (
+            self.encode_points(candidate_pool))
         return candidate_emb, candidate_importance, pool_labels
 
     def predict_batch(self, candidate_emb: np.ndarray,

@@ -19,6 +19,15 @@ from .figures import (
 from .gateway import serve_bench_gateway, serve_gateway_demo
 from .grids import accuracy_grid
 from .recovery import serve_bench_recovery
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    build_slos,
+    check_scenarios,
+    run_matrix,
+    run_scenario,
+    scenarios_main,
+)
 from .serving import serve_bench, serve_bench_mutating, serve_bench_sharded
 from .tables import (
     table2_dataset_statistics,
@@ -39,6 +48,13 @@ __all__ = [
     "ablation_cache_policy",
     "ablation_recon_scorer",
     "accuracy_grid",
+    "SCENARIOS",
+    "Scenario",
+    "build_slos",
+    "check_scenarios",
+    "run_matrix",
+    "run_scenario",
+    "scenarios_main",
     "serve_bench",
     "serve_bench_gateway",
     "serve_bench_mutating",

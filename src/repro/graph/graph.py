@@ -368,8 +368,8 @@ class Graph:
                                        update.add_node_labels)
         add_src = np.asarray(update.add_src, dtype=np.int64).reshape(-1)
         add_dst = np.asarray(update.add_dst, dtype=np.int64).reshape(-1)
-        new_edges = self.add_edges(add_src, add_dst, update.add_rel) \
-            if add_src.size else _EMPTY
+        new_edges = (self.add_edges(add_src, add_dst, update.add_rel)
+                     if add_src.size else _EMPTY)
         removed = np.asarray(update.remove_edges,
                              dtype=np.int64).reshape(-1)
         if removed.size:

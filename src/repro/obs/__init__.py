@@ -15,6 +15,9 @@ One substrate for every signal the stack emits (ROADMAP item 5):
   (``ServerStats``/``TenantLedger``/``CacheStats``) into the registry,
   plus :func:`scrape` for one-call gateway/server exposition.
 * :mod:`repro.obs.httpd` — optional stdlib ``GET /metrics`` endpoint.
+* :mod:`repro.obs.slo` — declarative SLO specs + multi-window burn-rate
+  evaluation over registry snapshot deltas, with per-stage latency
+  attribution; drives the ``serve-bench-scenarios`` verdicts.
 
 ``repro metrics`` (:mod:`repro.obs.cli`) demos the whole layer against a
 synthetic burst; the serving gateway exposes the same text via
@@ -35,6 +38,19 @@ from .metrics import (
     scoped_registry,
     set_global_registry,
 )
+from .slo import (
+    LatencyQuantileSLO,
+    RatioSLO,
+    RecoveryTimeSLO,
+    SLOCheck,
+    SLOSpec,
+    SLOVerdict,
+    deadline_miss_slo,
+    render_report,
+    shed_rate_slo,
+    snapshot_delta,
+)
+from .slo import evaluate as evaluate_slos
 from .tracing import Span, TraceContext, Tracer, batch_scope, span
 
 __all__ = [
@@ -43,20 +59,31 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyQuantileSLO",
     "MetricsEndpoint",
     "MetricsRegistry",
+    "RatioSLO",
+    "RecoveryTimeSLO",
+    "SLOCheck",
+    "SLOSpec",
+    "SLOVerdict",
     "Span",
     "TraceContext",
     "Tracer",
     "batch_scope",
     "collect",
+    "deadline_miss_slo",
     "escape_label_value",
+    "evaluate_slos",
     "export_sessions",
     "export_stats",
     "get_registry",
     "render",
+    "render_report",
     "scoped_registry",
     "scrape",
     "set_global_registry",
+    "shed_rate_slo",
+    "snapshot_delta",
     "span",
 ]

@@ -7,6 +7,14 @@ exposition covering every layer (gateway counters, session cache
 mirrors, shard ledgers, kernel stage histograms) plus the per-stage
 latency breakdown of one sampled trace.
 
+After the burst, a durability mini-cycle runs against the same registry
+— WAL-logged update → snapshot → warm-start recovery → a 2-replica
+fleet losing one replica — so the exposition also carries the persist
+tier's counters (``repro_wal_appends_total``,
+``repro_snapshot_writes_total``, ``repro_recovery_*``) and the
+:class:`~repro.serving.ReplicaSet` failover/kill counters, with a
+recovery-time SLO verdict evaluated from the same snapshots.
+
 The model is deliberately untrained: this command exercises the metrics
 plumbing, not prediction quality, so it stays seconds-fast.  Use
 ``--snapshot`` to write the exposition text to a file (CI's nightly
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 
 __all__ = ["metrics_main", "build_metrics_parser"]
 
@@ -47,6 +56,10 @@ def metrics_main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro metrics``."""
     args = build_metrics_parser().parse_args(argv)
 
+    import tempfile
+
+    import numpy as np
+
     from ..core import (
         GraphPrompterConfig,
         GraphPrompterModel,
@@ -54,16 +67,24 @@ def metrics_main(argv: list[str] | None = None) -> int:
     )
     from ..datasets import EDGE_TASK, Dataset
     from ..datasets.synthetic import synthetic_knowledge_graph
-    from ..serving import Priority, PromptServer, ServingGateway
+    from ..graph import GraphUpdate
+    from ..persist import PersistentStore
+    from ..serving import (
+        Priority,
+        PromptServer,
+        ReplicaSet,
+        ServingGateway,
+    )
     from .bridge import scrape
     from .metrics import MetricsRegistry
+    from .slo import RecoveryTimeSLO, SLOSpec, evaluate
 
     nodes, edges, queries = (200, 1200, 3) if args.fast else (400, 3000, 6)
     graph = synthetic_knowledge_graph(nodes, 6, edges, rng=0,
                                       name="kg-metrics")
     dataset = Dataset(graph, EDGE_TASK, rng=0)
     config = GraphPrompterConfig(hidden_dim=16, max_subgraph_nodes=12,
-                                 num_gnn_layers=2)
+                                 num_gnn_layers=2, mutable_graph=True)
     model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
                                config)
     registry = MetricsRegistry()
@@ -76,7 +97,83 @@ def metrics_main(argv: list[str] | None = None) -> int:
          sample_episode(dataset, num_ways=3, num_queries=queries, rng=102)),
     ]
 
-    async def burst() -> tuple:
+    async def durability(store_dir: str) -> dict:
+        """WAL → snapshot → recovery → replica kill, all in ``registry``.
+
+        Exercises every PR-7 durability counter so the exposition below
+        actually carries them (they register at zero otherwise).
+        """
+        base = Dataset(graph.rebuild(), EDGE_TASK, rng=0, name="kg-dur")
+        store = PersistentStore(store_dir, registry=registry)
+        server = PromptServer(model, base, max_batch_size=4, rng=0,
+                              persist=store, registry=registry)
+        episode = sample_episode(base, num_ways=3, num_queries=2, rng=103)
+        server.open_session("durable-0", episode, tenant_id="acme")
+        server.submit("durable-0", episode.queries[0])
+        server.drain()
+        rng = np.random.default_rng(7)
+        server.update_graph(GraphUpdate(
+            add_src=rng.integers(0, base.graph.num_nodes, size=4),
+            add_dst=rng.integers(0, base.graph.num_nodes, size=4),
+            add_rel=rng.integers(0, base.graph.num_relations, size=4)))
+        server.save_snapshot()
+        server.update_graph(GraphUpdate(
+            add_src=rng.integers(0, base.graph.num_nodes, size=2),
+            add_dst=rng.integers(0, base.graph.num_nodes, size=2),
+            add_rel=rng.integers(0, base.graph.num_relations, size=2)))
+        server.close()
+
+        # Warm-start from the store: snapshot load + one-record WAL
+        # replay + manifest session re-open → recovery counters.
+        recovered = PromptServer.restore(
+            model, PersistentStore(store_dir, registry=registry),
+            base.task, name="kg-dur", rng=0, max_batch_size=4,
+            registry=registry)
+        replayed = recovered.last_recovery_replayed
+        recovered.close()
+
+        # A 2-replica fleet losing one replica mid-flight → kill +
+        # failover counters (tenants re-route to the survivor).
+        fleet_store = PersistentStore(os.path.join(store_dir, "fleet"),
+                                      registry=registry)
+
+        def factory(replica_id: int) -> ServingGateway:
+            replica_data = Dataset(graph.rebuild(), EDGE_TASK, rng=0,
+                                   name="kg-fleet")
+            replica = PromptServer(model, replica_data, max_batch_size=4,
+                                   rng=0, persist=fleet_store,
+                                   registry=registry)
+            return ServingGateway(replica, auto_drain=False,
+                                  registry=registry)
+
+        fleet = ReplicaSet(factory, num_replicas=2, store=fleet_store,
+                           registry=registry)
+        tenants = ["acme", "globex", "initech"]
+        fleet_episodes = {}
+        for index, tenant in enumerate(tenants):
+            fleet_episodes[tenant] = sample_episode(
+                Dataset(graph.rebuild(), EDGE_TASK, rng=0), num_ways=3,
+                num_queries=2, rng=110 + index)
+            fleet.open_session(tenant, f"{tenant}-s",
+                               fleet_episodes[tenant],
+                               priority=Priority.INTERACTIVE)
+        victim = fleet.route(tenants[0])
+        fleet.kill(victim)
+        moved = 0
+        for tenant in tenants:
+            index = fleet.route(tenant)
+            future = fleet.replicas[index].submit_nowait(
+                f"{tenant}-s", fleet_episodes[tenant].queries[1])
+            await fleet.replicas[index].flush()
+            if (not isinstance(future, asyncio.Future)
+                    or not future.result().ok):
+                raise RuntimeError(
+                    f"tenant {tenant} was not served after failover")
+            moved += 1
+        await fleet.close()
+        return {"replayed": replayed, "served_after_failover": moved}
+
+    async def burst(store_dir: str) -> tuple:
         server = PromptServer(model, dataset, max_batch_size=8, rng=0,
                               num_shards=2, num_workers=2,
                               worker_backend="serial", registry=registry)
@@ -92,13 +189,19 @@ def metrics_main(argv: list[str] | None = None) -> int:
                 futures.append(gateway.submit_nowait(f"session-{index}",
                                                      episode.queries[q]))
             await gateway.flush()
+        pre_durability = registry.snapshot()
+        durable = await durability(store_dir)
+        # Scraped after the durability cycle: the exposition carries the
+        # persist/recovery and replica-fleet counters too.
         text = scrape(gateway)
         traces = gateway.tracer.completed()
         await gateway.close()
         server.close()
-        return text, traces, len(futures)
+        return text, traces, len(futures), durable, pre_durability
 
-    text, traces, submitted = asyncio.run(burst())
+    with tempfile.TemporaryDirectory(prefix="repro-metrics-") as tmp:
+        text, traces, submitted, durable, pre_durability = asyncio.run(
+            burst(tmp))
     print(text, end="")
     print(f"# {submitted} requests served, {len(traces)} traced "
           f"(1-in-{args.trace_every})")
@@ -109,6 +212,31 @@ def metrics_main(argv: list[str] | None = None) -> int:
               f"{trace.meta.get('priority', '?')}):")
         for name, seconds in trace.stage_seconds().items():
             print(f"#   {name:<16} {seconds * 1e6:9.1f} us")
+    # Durability tier summary: the same counters the exposition above
+    # carries, plus a recovery-time SLO verdict computed from registry
+    # snapshots bracketing the durability cycle.
+    recovery_hist = registry.histogram("repro_recovery_seconds")
+    print(f"# durability: wal_appends="
+          f"{registry.counter('repro_wal_appends_total').sum():.0f} "
+          f"snapshot_writes="
+          f"{registry.counter('repro_snapshot_writes_total').sum():.0f} "
+          f"recovery_replayed={durable['replayed']} "
+          f"recovery_mean_ms={recovery_hist.mean() * 1e3:.1f}")
+    print(f"# fleet: replica_kills="
+          f"{registry.counter('repro_replicaset_kills_total').sum():.0f} "
+          f"failovers="
+          f"{registry.counter('repro_replicaset_failovers_total').sum():.0f} "
+          f"served_after_failover={durable['served_after_failover']} "
+          f"worker_respawns="
+          f"{registry.counter('repro_worker_pool_respawns_total').sum():.0f}")
+    verdict = evaluate(
+        SLOSpec(name="durability", objectives=(
+            RecoveryTimeSLO(name="recovery-time", threshold_s=30.0),)),
+        [pre_durability, registry.snapshot()])
+    check = verdict.results[0].check
+    print(f"# slo: {check.objective} {'pass' if check.ok else 'FAIL'} "
+          f"({check.description}; measured={check.measured:.3f}s, "
+          f"{check.detail})")
     if args.snapshot:
         with open(args.snapshot, "w") as handle:
             handle.write(text)

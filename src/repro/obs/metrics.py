@@ -81,8 +81,8 @@ class _Instrument:
         self._series: dict = {}
 
     def _key(self, labels: dict) -> tuple:
-        if len(labels) != len(self.labelnames) or \
-                any(name not in labels for name in self.labelnames):
+        if (len(labels) != len(self.labelnames)
+                or any(name not in labels for name in self.labelnames)):
             raise ValueError(
                 f"{self.name} takes labels {self.labelnames}, "
                 f"got {tuple(sorted(labels))}")
@@ -100,8 +100,8 @@ class _Instrument:
         total = 0.0
         for key, value in self.series().items():
             if all(key[i] == want for i, want in positions.items()):
-                total += value.total if isinstance(value, _HistogramSeries) \
-                    else value
+                total += (value.total
+                          if isinstance(value, _HistogramSeries) else value)
         return total
 
 
@@ -224,8 +224,8 @@ class Histogram(_Instrument):
                 continue
             if cumulative + bucket_count >= rank:
                 lo = self.buckets[index - 1] if index > 0 else 0.0
-                hi = self.buckets[index] if index < len(self.buckets) \
-                    else self.buckets[-1]
+                hi = (self.buckets[index] if index < len(self.buckets)
+                      else self.buckets[-1])
                 fraction = (rank - cumulative) / bucket_count
                 return lo + min(max(fraction, 0.0), 1.0) * (hi - lo)
             cumulative += bucket_count
@@ -349,8 +349,8 @@ class MetricsRegistry:
                         series.total += value["sum"]
                         series.count += value["count"]
                     elif kind == "counter":
-                        instrument._series[key] = \
-                            instrument._series.get(key, 0.0) + value
+                        instrument._series[key] = (
+                            instrument._series.get(key, 0.0) + value)
                     else:  # gauge: last write wins
                         instrument._series[key] = value
         return

@@ -61,8 +61,8 @@ class TraceContext:
         """Total recorded seconds per stage name (insertion order)."""
         totals: dict[str, float] = {}
         for entry in self.spans:
-            totals[entry.name] = totals.get(entry.name, 0.0) \
-                + entry.duration_s
+            totals[entry.name] = (totals.get(entry.name, 0.0)
+                                  + entry.duration_s)
         return totals
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

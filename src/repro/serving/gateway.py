@@ -77,8 +77,8 @@ class GatewayResult:
 
     @property
     def ok(self) -> bool:
-        return self.error is None and self.result is not None \
-            and self.result.ok
+        return (self.error is None and self.result is not None
+                and self.result.ok)
 
     @property
     def prediction(self) -> int:

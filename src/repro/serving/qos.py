@@ -252,8 +252,8 @@ class TenantLedger:
         else:
             p50 = p95 = 0.0
         elapsed = 0.0
-        if self.first_submit_at is not None \
-                and self.last_complete_at is not None:
+        if (self.first_submit_at is not None
+                and self.last_complete_at is not None):
             elapsed = max(self.last_complete_at - self.first_submit_at, 0.0)
         qps = self.completed / elapsed if elapsed > 0 else 0.0
         shed_rate = self.shed / self.submitted if self.submitted else 0.0

@@ -170,10 +170,10 @@ class PromptServer:
         self.pipeline.generator.deterministic = True
         # Horizontal scale: unspecified knobs fall back to the config;
         # (1 shard, 1 worker) keeps the monolithic in-process hot path.
-        num_shards = self.config.num_shards if num_shards is None \
-            else num_shards
-        num_workers = self.config.num_workers if num_workers is None \
-            else num_workers
+        num_shards = (self.config.num_shards if num_shards is None
+                      else num_shards)
+        num_workers = (self.config.num_workers if num_workers is None
+                       else num_workers)
         shard_strategy = shard_strategy or self.config.shard_strategy
         worker_backend = worker_backend or self.config.worker_backend
         self.router: ShardRouter | None = None
@@ -270,8 +270,8 @@ class PromptServer:
         pool, pool_labels = self.pipeline.select_candidate_pool(episode,
                                                                 shots)
         with scoped_registry(self.obs):
-            candidate_emb, candidate_importance = \
-                self.pipeline.encode_points(pool)
+            candidate_emb, candidate_importance = (
+                self.pipeline.encode_points(pool))
         augmenter = PromptAugmenter(
             self.config, rng=np.random.default_rng(self.rng.integers(2**32)))
         state = SessionState(
@@ -432,8 +432,8 @@ class PromptServer:
         pool, pool_labels = self.pipeline.select_candidate_pool(
             session.episode, session.shots)
         with scoped_registry(self.obs):
-            session.candidate_emb, session.candidate_importance = \
-                self.pipeline.encode_points(pool)
+            session.candidate_emb, session.candidate_importance = (
+                self.pipeline.encode_points(pool))
         session.pool_labels = pool_labels
         session.augmenter.invalidate()
         session.dependent_nodes = self._dependencies(pool)

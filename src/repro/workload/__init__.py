@@ -1,0 +1,43 @@
+"""Seeded trace-driven workload generation (ROADMAP item 5).
+
+Scenario traffic for the serving stack: composable arrival processes
+(:mod:`~repro.workload.arrivals`), tenant-skew and node-popularity
+models (:mod:`~repro.workload.models`), and the typed event trace plus
+the single-RNG generator that binds them (:mod:`~repro.workload.trace`).
+
+The package depends on ``numpy`` only — the serving/experiment layers
+consume its traces, never the other way around — and everything it
+emits replays bit-identically from a seed.
+"""
+
+from .arrivals import DiurnalArrivals, MarkovModulatedArrivals, PoissonArrivals
+from .models import (
+    PRIORITY_CLASSES,
+    FlashCrowdQueries,
+    TenantSpec,
+    UniformQueries,
+    ZipfQueries,
+    ZipfTenants,
+)
+from .trace import (
+    WorkloadEvent,
+    WorkloadGenerator,
+    WorkloadTrace,
+    generate_trace,
+)
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "DiurnalArrivals",
+    "FlashCrowdQueries",
+    "MarkovModulatedArrivals",
+    "PoissonArrivals",
+    "TenantSpec",
+    "UniformQueries",
+    "WorkloadEvent",
+    "WorkloadGenerator",
+    "WorkloadTrace",
+    "ZipfQueries",
+    "ZipfTenants",
+    "generate_trace",
+]

@@ -1,0 +1,126 @@
+"""Composable arrival processes for the workload generator.
+
+Each process is an immutable spec; all runtime state (the current
+modulation regime, the virtual clock) lives in the
+:class:`~repro.workload.trace.WorkloadGenerator` that drives it, so one
+spec can power many independent, individually-seeded streams.
+
+The contract is a single method pair:
+
+* :meth:`initial_state` — the process's per-stream starting state (an
+  opaque value the generator threads back in).
+* :meth:`next_interval(rng, t, state)` — draw the seconds until the next
+  arrival given the stream's RNG, the current virtual time ``t``, and
+  the state; returns ``(dt, new_state)``.
+
+Every draw comes from the *one* ``numpy`` Generator the owning stream
+holds, in a fixed per-event order — which is what makes a whole trace
+replay bit-identically from its seed (see :mod:`repro.workload.trace`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PoissonArrivals",
+    "MarkovModulatedArrivals",
+    "DiurnalArrivals",
+]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson stream: i.i.d. ``Exp(1/rate)`` inter-arrivals.
+
+    The steady-state baseline every other process is compared against.
+    """
+
+    rate_qps: float
+
+    def __post_init__(self):
+        if self.rate_qps <= 0.0:
+            raise ValueError("rate_qps must be positive")
+
+    def initial_state(self):
+        return None
+
+    def next_interval(self, rng: np.random.Generator, t: float, state):
+        return float(rng.exponential(1.0 / self.rate_qps)), state
+
+
+@dataclass(frozen=True)
+class MarkovModulatedArrivals:
+    """Two-regime Markov-modulated Poisson process (bursty traffic).
+
+    The stream alternates between a ``base`` and a ``burst`` regime; at
+    each arrival one uniform draw decides whether the regime flips
+    (``p_enter`` from base, ``p_exit`` from burst), then the interval is
+    drawn at the current regime's rate.  This is the discrete-time
+    (per-arrival) MMPP approximation: regime residence is geometric in
+    *events*, so a burst of rate ``burst_qps`` lasts on average
+    ``1/p_exit`` events — short wall-clock spikes of dense arrivals.
+    """
+
+    base_qps: float
+    burst_qps: float
+    p_enter: float = 0.05
+    p_exit: float = 0.15
+
+    def __post_init__(self):
+        if self.base_qps <= 0.0 or self.burst_qps <= 0.0:
+            raise ValueError("rates must be positive")
+        for p in (self.p_enter, self.p_exit):
+            if not 0.0 < p <= 1.0:
+                raise ValueError("transition probabilities must be in (0, 1]")
+
+    def initial_state(self):
+        return "base"
+
+    def next_interval(self, rng: np.random.Generator, t: float, state):
+        # Fixed draw order per event (flip, then interval): the stream is
+        # a pure function of the seed whatever regime it is in.
+        flip = float(rng.random())
+        if state == "base" and flip < self.p_enter:
+            state = "burst"
+        elif state == "burst" and flip < self.p_exit:
+            state = "base"
+        rate = self.burst_qps if state == "burst" else self.base_qps
+        return float(rng.exponential(1.0 / rate)), state
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Slow sinusoidal rate drift: ``rate(t) = base·(1 + a·sin(2πt/T))``.
+
+    A compressed diurnal cycle — the generator's virtual clock makes a
+    "day" as short as the scenario wants.  Intervals are drawn at the
+    instantaneous rate (a piecewise-exponential approximation of the
+    non-homogeneous process, exact in the limit of slow drift), so the
+    trace sweeps through trough and peak load within one run.
+    """
+
+    base_qps: float
+    amplitude: float = 0.5
+    period_s: float = 60.0
+
+    def __post_init__(self):
+        if self.base_qps <= 0.0:
+            raise ValueError("base_qps must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1) to keep rate > 0")
+        if self.period_s <= 0.0:
+            raise ValueError("period_s must be positive")
+
+    def rate_at(self, t: float) -> float:
+        phase = 2.0 * math.pi * t / self.period_s
+        return self.base_qps * (1.0 + self.amplitude * math.sin(phase))
+
+    def initial_state(self):
+        return None
+
+    def next_interval(self, rng: np.random.Generator, t: float, state):
+        return float(rng.exponential(1.0 / self.rate_at(t))), state

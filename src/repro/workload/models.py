@@ -1,0 +1,142 @@
+"""Who sends each request (tenant skew) and what it asks (node popularity).
+
+Tenant models map one uniform draw to a ``(tenant, session)`` pair;
+query models map draws to a query slot index in ``[0, num_queries)``
+(each slot is anchored at one episode seed node, so slot popularity *is*
+node popularity).  Both are immutable specs driven by the stream's
+single RNG — categorical sampling goes through an explicit inverse-CDF
+(`searchsorted` over cumulative weights) so every choice costs exactly
+one uniform draw in a fixed order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "TenantSpec",
+    "ZipfTenants",
+    "UniformQueries",
+    "ZipfQueries",
+    "FlashCrowdQueries",
+]
+
+#: Priority classes as plain strings — :mod:`repro.workload` is
+#: dependency-free (numpy only); drivers map these onto
+#: :class:`repro.serving.Priority` at the boundary.
+PRIORITY_CLASSES = ("interactive", "batch", "background")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: identity, QoS class, and its session count."""
+
+    tenant: str
+    priority: str
+    sessions: int = 1
+
+    def __post_init__(self):
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, "
+                f"got {self.priority!r}")
+        if self.sessions < 1:
+            raise ValueError("each tenant needs at least one session")
+
+
+def _zipf_cdf(n: int, skew: float) -> np.ndarray:
+    """Cumulative Zipf weights over ranks ``1..n`` (rank ``r`` ∝ r^-skew)."""
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -skew
+    cdf = np.cumsum(weights)
+    return cdf / cdf[-1]
+
+
+@dataclass(frozen=True)
+class ZipfTenants:
+    """Zipf-skewed tenant mix: declaration order is popularity rank.
+
+    ``skew=0`` degenerates to a uniform mix; larger skews concentrate
+    traffic on the first tenants.  The per-tenant ``priority`` fields
+    give the mix its QoS composition (a tenant serves one class, the
+    gateway's invariant).  Sessions within a tenant are uniform.
+    """
+
+    tenants: tuple[TenantSpec, ...]
+    skew: float = 1.0
+
+    def __post_init__(self):
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        if self.skew < 0.0:
+            raise ValueError("skew must be non-negative")
+        names = [spec.tenant for spec in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+
+    def sample(self, rng: np.random.Generator) -> tuple[TenantSpec, str]:
+        """Draw ``(tenant spec, session id)`` — exactly two RNG draws."""
+        cdf = _zipf_cdf(len(self.tenants), self.skew)
+        spec = self.tenants[int(np.searchsorted(cdf, rng.random()))]
+        session = int(rng.integers(spec.sessions))
+        return spec, f"{spec.tenant}/s{session}"
+
+
+@dataclass(frozen=True)
+class UniformQueries:
+    """Every query slot equally popular — the no-skew reference."""
+
+    def sample(self, rng: np.random.Generator, t: float,
+               num_queries: int) -> int:
+        return int(rng.integers(num_queries))
+
+
+@dataclass(frozen=True)
+class ZipfQueries:
+    """Zipf popularity over query slots: slot 0 is the hottest node."""
+
+    skew: float = 1.0
+
+    def __post_init__(self):
+        if self.skew < 0.0:
+            raise ValueError("skew must be non-negative")
+
+    def sample(self, rng: np.random.Generator, t: float,
+               num_queries: int) -> int:
+        cdf = _zipf_cdf(num_queries, self.skew)
+        return int(np.searchsorted(cdf, rng.random()))
+
+
+@dataclass(frozen=True)
+class FlashCrowdQueries:
+    """A time-boxed hot node: inside ``window`` most traffic hits one slot.
+
+    Outside the window the ``base`` model rules; inside, each event
+    first decides (one draw) whether it joins the crowd on
+    ``hot_query``, falling through to ``base`` otherwise — so the crowd
+    arrives and dissipates at exact, replayable virtual times.
+    """
+
+    base: UniformQueries | ZipfQueries
+    window: tuple[float, float]
+    hot_query: int = 0
+    hot_weight: float = 0.9
+
+    def __post_init__(self):
+        start, end = self.window
+        if end <= start:
+            raise ValueError("window end must be after its start")
+        if not 0.0 < self.hot_weight <= 1.0:
+            raise ValueError("hot_weight must be in (0, 1]")
+        if self.hot_query < 0:
+            raise ValueError("hot_query must be a valid slot index")
+
+    def sample(self, rng: np.random.Generator, t: float,
+               num_queries: int) -> int:
+        start, end = self.window
+        if start <= t < end:
+            if rng.random() < self.hot_weight:
+                return min(self.hot_query, num_queries - 1)
+        return self.base.sample(rng, t, num_queries)

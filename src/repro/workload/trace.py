@@ -1,0 +1,175 @@
+"""Typed event traces and the seeded generator that emits them.
+
+A :class:`WorkloadGenerator` composes one arrival process, one tenant
+model, and one query model over a **single** ``numpy`` Generator.  Every
+event consumes a fixed sequence of draws (arrival interval, tenant,
+session, query), so:
+
+* the same seed replays the trace bit-identically, run after run;
+* chunked generation (``take(k)`` repeatedly) and one-shot generation
+  (``take(n)`` once) produce the *same* stream by construction — both
+  are windows over one sequential draw sequence.
+
+The emitted :class:`WorkloadEvent` is the contract named by the issue —
+``(arrival_s, tenant, priority, session, query)`` — consumable by the
+asyncio gateway (open a session per unique ``session``, submit
+``episode.queries[event.query]``) and by the offline perf harness
+(replay grouped into virtual-time ticks, no sleeping).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arrivals import DiurnalArrivals, MarkovModulatedArrivals, PoissonArrivals
+from .models import UniformQueries, ZipfQueries, ZipfTenants
+
+__all__ = [
+    "WorkloadEvent",
+    "WorkloadTrace",
+    "WorkloadGenerator",
+    "generate_trace",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One request in a trace: when, who, how urgent, which query slot."""
+
+    arrival_s: float
+    tenant: str
+    priority: str
+    session: str
+    query: int
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON — the unit of byte-identity checks.
+
+        ``repr``-style shortest-round-trip floats and sorted keys make
+        two equal events serialize to identical bytes on any host.
+        """
+        return json.dumps(
+            {"arrival_s": self.arrival_s, "tenant": self.tenant,
+             "priority": self.priority, "session": self.session,
+             "query": self.query},
+            sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """An ordered, immutable event sequence with replay helpers."""
+
+    events: tuple[WorkloadEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def duration_s(self) -> float:
+        return self.events[-1].arrival_s if self.events else 0.0
+
+    def to_jsonl(self) -> str:
+        """The trace as canonical JSON lines (byte-comparable)."""
+        return "".join(event.to_json() + "\n" for event in self.events)
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical serialization — the replay identity."""
+        return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
+
+    def sessions(self) -> list[tuple[str, str, str]]:
+        """Unique ``(tenant, priority, session)`` in first-arrival order.
+
+        The driver's session-open plan: deterministic because the trace
+        is.
+        """
+        seen: dict[str, tuple[str, str, str]] = {}
+        for event in self.events:
+            if event.session not in seen:
+                seen[event.session] = (event.tenant, event.priority,
+                                       event.session)
+        return list(seen.values())
+
+    def ticks(self, tick_s: float):
+        """Group events into virtual-time ticks of ``tick_s`` seconds.
+
+        Yields ``(tick_index, [events...])`` for non-empty ticks, in
+        order — the replay unit: a driver submits a tick's events
+        back-to-back, then flushes, so queue pressure mirrors the
+        trace's burst structure without wall-clock sleeping.
+        """
+        if tick_s <= 0.0:
+            raise ValueError("tick_s must be positive")
+        bucket: list[WorkloadEvent] = []
+        current = None
+        for event in self.events:
+            tick = int(event.arrival_s / tick_s)
+            if current is not None and tick != current:
+                yield current, bucket
+                bucket = []
+            current = tick
+            bucket.append(event)
+        if bucket:
+            yield current, bucket
+
+
+class WorkloadGenerator:
+    """One seeded event stream; ``take(k)`` yields its next ``k`` events.
+
+    All randomness flows through the single ``numpy`` Generator built
+    from ``seed``; the only mutable state is the virtual clock and the
+    arrival process's regime — so two generators with equal specs and
+    seeds emit byte-identical streams, and chunked vs. one-shot reads
+    of one generator are the same stream.
+    """
+
+    def __init__(self,
+                 arrivals: PoissonArrivals | MarkovModulatedArrivals |
+                 DiurnalArrivals,
+                 tenants: ZipfTenants,
+                 queries: UniformQueries | ZipfQueries | object = None,
+                 num_queries: int = 8,
+                 seed: int = 0):
+        if num_queries < 1:
+            raise ValueError("num_queries must be positive")
+        self.arrivals = arrivals
+        self.tenants = tenants
+        self.queries = UniformQueries() if queries is None else queries
+        self.num_queries = num_queries
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._t = 0.0
+        self._state = arrivals.initial_state()
+        self.generated = 0
+
+    def take(self, n: int) -> tuple[WorkloadEvent, ...]:
+        """The next ``n`` events of this stream (advances the stream)."""
+        events = []
+        for _ in range(n):
+            # Fixed per-event draw order — the bit-identity contract:
+            # interval, tenant, session, query.
+            dt, self._state = self.arrivals.next_interval(
+                self._rng, self._t, self._state)
+            self._t += dt
+            spec, session = self.tenants.sample(self._rng)
+            query = self.queries.sample(self._rng, self._t,
+                                        self.num_queries)
+            events.append(WorkloadEvent(
+                arrival_s=self._t, tenant=spec.tenant,
+                priority=spec.priority, session=session, query=query))
+        self.generated += n
+        return tuple(events)
+
+
+def generate_trace(arrivals, tenants, queries=None, num_queries: int = 8,
+                   seed: int = 0, num_events: int = 100) -> WorkloadTrace:
+    """One-shot convenience: a fresh generator's first ``num_events``."""
+    generator = WorkloadGenerator(arrivals, tenants, queries=queries,
+                                  num_queries=num_queries, seed=seed)
+    return WorkloadTrace(generator.take(num_events))

@@ -84,13 +84,13 @@ class TestAdmissionController:
         # background sheds at 1/4 of the bound, batch at 1/2,
         # interactive only at the full bound.
         assert admission.admit("t", Priority.BACKGROUND, 1) is None
-        assert admission.admit("t", Priority.BACKGROUND, 2) \
-            == SHED_QUEUE_FULL
+        assert (admission.admit("t", Priority.BACKGROUND, 2)
+                == SHED_QUEUE_FULL)
         assert admission.admit("t", Priority.BATCH, 3) is None
         assert admission.admit("t", Priority.BATCH, 4) == SHED_QUEUE_FULL
         assert admission.admit("t", Priority.INTERACTIVE, 7) is None
-        assert admission.admit("t", Priority.INTERACTIVE, 8) \
-            == SHED_QUEUE_FULL
+        assert (admission.admit("t", Priority.INTERACTIVE, 8)
+                == SHED_QUEUE_FULL)
 
     def test_rate_limit_and_retry_after(self):
         clock = FakeClock()
@@ -98,18 +98,18 @@ class TestAdmissionController:
                                         tenant_burst=2.0, clock=clock)
         assert admission.admit("t", Priority.INTERACTIVE, 0) is None
         assert admission.admit("t", Priority.INTERACTIVE, 0) is None
-        assert admission.admit("t", Priority.INTERACTIVE, 0) \
-            == SHED_RATE_LIMITED
-        assert admission.retry_after("t", SHED_RATE_LIMITED) \
-            == pytest.approx(1.0)
+        assert (admission.admit("t", Priority.INTERACTIVE, 0)
+                == SHED_RATE_LIMITED)
+        assert (admission.retry_after("t", SHED_RATE_LIMITED)
+                == pytest.approx(1.0))
         clock.advance(1.0)
         assert admission.admit("t", Priority.INTERACTIVE, 0) is None
 
     def test_queue_full_does_not_spend_tokens(self):
         admission = AdmissionController(max_queue=4, tenant_rate_qps=1.0,
                                         tenant_burst=1.0, clock=FakeClock())
-        assert admission.admit("t", Priority.INTERACTIVE, 4) \
-            == SHED_QUEUE_FULL
+        assert (admission.admit("t", Priority.INTERACTIVE, 4)
+                == SHED_QUEUE_FULL)
         # The bucket still holds its token: a later in-bounds request
         # is admitted instead of double-penalised.
         assert admission.admit("t", Priority.INTERACTIVE, 0) is None
@@ -119,10 +119,10 @@ class TestAdmissionController:
                                         clock=FakeClock())
         assert admission.admit("a", Priority.BATCH, 0) is None
         assert admission.admit("a", Priority.BATCH, 0) is None
-        assert admission.admit("a", Priority.BATCH, 0) \
-            == SHED_QUOTA_EXHAUSTED
-        assert admission.retry_after("a", SHED_QUOTA_EXHAUSTED) \
-            == float("inf")
+        assert (admission.admit("a", Priority.BATCH, 0)
+                == SHED_QUOTA_EXHAUSTED)
+        assert (admission.retry_after("a", SHED_QUOTA_EXHAUSTED)
+                == float("inf"))
         assert admission.admit("b", Priority.BATCH, 0) is None
 
     def test_validation(self):
@@ -350,10 +350,10 @@ class TestGateway:
         assert sheds == {key: out.reason
                          for key, out in second_out.items()
                          if isinstance(out, Overloaded)}
-        assert [(t.tenant_id, t.admitted, t.shed)
-                for t in first_stats.tenants] \
-            == [(t.tenant_id, t.admitted, t.shed)
-                for t in second_stats.tenants]
+        assert ([(t.tenant_id, t.admitted, t.shed)
+                 for t in first_stats.tenants]
+                == [(t.tenant_id, t.admitted, t.shed)
+                    for t in second_stats.tenants])
         predictions = {key: out.prediction
                        for key, out in first_out.items()
                        if not isinstance(out, Overloaded)}
@@ -609,8 +609,8 @@ class TestGateway:
             model, dataset,
             [("t", Priority.INTERACTIVE, "s", episode)],
             [("s", q) for q in range(4)])
-        assert [r.prediction for r in results] \
-            == [reference[("s", q)] for q in range(4)]
+        assert ([r.prediction for r in results]
+                == [reference[("s", q)] for q in range(4)])
 
 
 # ----------------------------------------------------------------------

@@ -22,8 +22,11 @@ import pytest
 
 from repro.graph import CSRAdjacency, DeltaAdjacency, Graph, GraphUpdate
 from repro.graph.datapoints import EdgeInput, NodeInput
-from repro.graph.sampling import bfs_neighborhood, random_walk_neighborhood, \
-    sample_data_graph
+from repro.graph.sampling import (
+    bfs_neighborhood,
+    random_walk_neighborhood,
+    sample_data_graph,
+)
 from repro.shard import ShardedGraphStore
 
 ENGINES = ("vectorized", "legacy")
@@ -81,8 +84,8 @@ def random_step(graph: Graph, rng: np.random.Generator) -> str:
         return op
     # "mixed": one atomic batch through apply_updates.
     k = int(rng.integers(1, 8))
-    remove = rng.choice(live, size=min(3, live.size), replace=False) \
-        if live.size else ()
+    remove = (rng.choice(live, size=min(3, live.size), replace=False)
+              if live.size else ())
     graph.apply_updates(GraphUpdate(
         add_src=rng.integers(0, graph.num_nodes, size=k),
         add_dst=rng.integers(0, graph.num_nodes, size=k),
@@ -99,13 +102,13 @@ def assert_reads_equal(graph: Graph, ref: Graph, context: str) -> None:
     assert graph.num_live_edges == ref.num_edges
     assert np.array_equal(graph.degree(), ref.degree()), context
     for node in range(graph.num_nodes):
-        assert np.array_equal(graph.neighbors(node), ref.neighbors(node)), \
-            (context, node)
+        assert np.array_equal(graph.neighbors(node),
+                              ref.neighbors(node)), (context, node)
         dsts, eids = graph.adjacency.neighbor_edges(node)
         ref_dsts, ref_eids = ref.adjacency.neighbor_edges(node)
         assert np.array_equal(dsts, ref_dsts), (context, node, "directed")
-        assert np.array_equal(graph.rel[eids], ref.rel[ref_eids]), \
-            (context, node, "rel")
+        assert np.array_equal(graph.rel[eids],
+                              ref.rel[ref_eids]), (context, node, "rel")
     rng = np.random.default_rng(0)
     frontier = rng.integers(0, graph.num_nodes, size=13)
     assert np.array_equal(
@@ -124,8 +127,8 @@ def assert_sampling_equal(graph, ref, rng: np.random.Generator,
                           np.random.default_rng(draw), engine=engine)
             want = sampler(ref, seeds, 2, 16,
                            np.random.default_rng(draw), engine=engine)
-            assert np.array_equal(got, want), \
-                (context, sampler.__name__, engine)
+            assert np.array_equal(got, want), (context, sampler.__name__,
+                                               engine)
 
 
 def assert_induction_equal(graph, ref, rng: np.random.Generator,
@@ -141,9 +144,10 @@ def assert_induction_equal(graph, ref, rng: np.random.Generator,
                                  rng=np.random.default_rng(draw))
         for field in ("nodes", "src", "dst", "rel", "node_features",
                       "centers"):
-            assert np.array_equal(getattr(got, field),
-                                  getattr(want, field)), \
-                (context, type(datapoint).__name__, field)
+            assert np.array_equal(
+                getattr(got, field),
+                getattr(want, field)), (context,
+                                        type(datapoint).__name__, field)
 
 
 # ----------------------------------------------------------------------
@@ -352,8 +356,8 @@ def test_gather_fast_path_used_on_clean_frontiers():
     graph.add_edges([0], [1])  # promote; rows 0/1 dirty
     adj = graph.undirected_adjacency
     clean_nodes = np.array([n for n in range(2, graph.num_nodes)][:9])
-    want = np.concatenate([adj.neighbors(int(n)) for n in clean_nodes]) \
-        if clean_nodes.size else np.empty(0, dtype=np.int64)
+    want = (np.concatenate([adj.neighbors(int(n)) for n in clean_nodes])
+            if clean_nodes.size else np.empty(0, dtype=np.int64))
     got = adj.gather_neighbors(clean_nodes)
     assert np.array_equal(got, want)
     assert not adj._dirty[clean_nodes].any()

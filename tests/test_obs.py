@@ -188,8 +188,8 @@ class TestMergeDrain:
         for i in range(50):
             h.observe(1e-5 * 3 ** (i % 10))
         dst.merge(src.snapshot())
-        assert dst.histogram("h_seconds").series()[()].counts \
-            == h.series()[()].counts
+        assert (dst.histogram("h_seconds").series()[()].counts
+                == h.series()[()].counts)
 
 
 # ----------------------------------------------------------------------
@@ -253,8 +253,8 @@ def _obs_pool_init():
 
 def _obs_pool_task(context, task):
     reg = get_registry()
-    reg.counter("pool_tasks_total", "", ("parity",)) \
-        .inc(parity=str(task % 2))
+    reg.counter("pool_tasks_total", "",
+                ("parity",)).inc(parity=str(task % 2))
     reg.histogram("pool_task_seconds").observe(1e-4 * (task + 1))
     return task * 10
 
@@ -407,8 +407,8 @@ class TestGatewayObservability:
             for stage in ("admission", "sample", "batch_assembly",
                           "forward", "shard_encode", "encode", "predict",
                           "queue_wait", "total"):
-                assert stage in stages, \
-                    f"{trace.trace_id} missing {stage}: {stages}"
+                assert stage in stages, (
+                    f"{trace.trace_id} missing {stage}: {stages}")
             assert trace.meta["outcome"] == "ok"
             assert stages["total"] >= 0.0
 

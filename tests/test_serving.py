@@ -185,8 +185,8 @@ class TestPromptServer:
             server = PromptServer(model, dataset, max_batch_size=batch_size,
                                   rng=7)
             outputs[batch_size] = run_workload(server, episodes, 8)
-        assert [(r.session_id, r.prediction) for r in outputs[8]] == \
-               [(r.session_id, r.prediction) for r in outputs[1]]
+        assert ([(r.session_id, r.prediction) for r in outputs[8]]
+                == [(r.session_id, r.prediction) for r in outputs[1]])
         conf8 = np.array([r.confidence for r in outputs[8]])
         conf1 = np.array([r.confidence for r in outputs[1]])
         np.testing.assert_allclose(conf8, conf1, atol=1e-9)

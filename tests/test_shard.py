@@ -398,8 +398,8 @@ class TestShardedPromptServer:
                      worker_backend="serial")):
             results, stats = _run_workload(model, dataset, episodes,
                                            **kwargs)
-            assert [(r.session_id, r.prediction) for r in results] == \
-                [(r.session_id, r.prediction) for r in reference]
+            assert ([(r.session_id, r.prediction) for r in results]
+                    == [(r.session_id, r.prediction) for r in reference])
             np.testing.assert_allclose(
                 [r.confidence for r in results],
                 [r.confidence for r in reference], rtol=0, atol=1e-9)
@@ -417,9 +417,10 @@ class TestShardedPromptServer:
                                   num_workers=2, worker_backend="serial")
         process, _ = _run_workload(model, dataset, episodes, num_shards=2,
                                    num_workers=2, worker_backend="process")
-        assert [(r.session_id, r.prediction, r.confidence)
-                for r in process] == \
-            [(r.session_id, r.prediction, r.confidence) for r in serial]
+        assert ([(r.session_id, r.prediction, r.confidence)
+                 for r in process]
+                == [(r.session_id, r.prediction, r.confidence)
+                    for r in serial])
 
     def test_config_defaults_feed_server(self):
         model, dataset, episodes = _serving_fixture()

@@ -1,0 +1,226 @@
+"""Tests for the SLO evaluation engine over registry snapshots."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    LatencyQuantileSLO,
+    RecoveryTimeSLO,
+    SLOSpec,
+    counter_total,
+    deadline_miss_slo,
+    evaluate,
+    histogram_quantile,
+    render_report,
+    shed_rate_slo,
+    snapshot_delta,
+    stage_profile,
+)
+from repro.obs.tracing import STAGE_METRIC
+
+WAIT = "repro_gateway_queue_wait_seconds"
+
+
+def gateway_registry():
+    """A registry with the gateway's instrument shapes pre-registered."""
+    registry = MetricsRegistry()
+    registry.counter("repro_gateway_submitted_total",
+                     labelnames=("tenant", "priority"))
+    registry.counter("repro_gateway_shed_total",
+                     labelnames=("tenant", "priority", "reason"))
+    registry.counter("repro_gateway_completed_total",
+                     labelnames=("tenant", "priority"))
+    registry.counter("repro_gateway_deadline_misses_total",
+                     labelnames=("tenant", "priority"))
+    registry.histogram(WAIT, labelnames=("priority",))
+    registry.histogram(STAGE_METRIC, labelnames=("stage",))
+    return registry
+
+
+def observe_wait(registry, priority, value, times=1):
+    histogram = registry.histogram(WAIT, labelnames=("priority",))
+    for _ in range(times):
+        histogram.observe(value, priority=priority)
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra.
+# ----------------------------------------------------------------------
+class TestSnapshotAlgebra:
+    def test_counter_delta_subtracts(self):
+        registry = gateway_registry()
+        counter = registry.counter("repro_gateway_submitted_total",
+                                   labelnames=("tenant", "priority"))
+        counter.inc(3, tenant="a", priority="batch")
+        start = registry.snapshot()
+        counter.inc(5, tenant="a", priority="batch")
+        counter.inc(2, tenant="b", priority="interactive")
+        delta = snapshot_delta(registry.snapshot(), start)
+        assert counter_total(delta, "repro_gateway_submitted_total") == 7
+        assert counter_total(delta, "repro_gateway_submitted_total",
+                             {"priority": "batch"}) == 5
+
+    def test_histogram_delta_subtracts_buckets(self):
+        registry = gateway_registry()
+        observe_wait(registry, "batch", 0.001, times=10)
+        start = registry.snapshot()
+        observe_wait(registry, "batch", 4.0, times=10)
+        delta = snapshot_delta(registry.snapshot(), start)
+        # Only the post-snapshot slow observations remain: the delta's
+        # median sits near 4s, not between the two modes.
+        median = histogram_quantile(delta, WAIT, 0.5,
+                                    {"priority": "batch"})
+        assert median > 1.0
+        full = histogram_quantile(registry.snapshot(), WAIT, 0.5,
+                                  {"priority": "batch"})
+        assert full < 1.0
+
+    def test_quantile_matches_live_histogram(self):
+        registry = gateway_registry()
+        for value in (0.002, 0.004, 0.008, 0.016, 0.512):
+            observe_wait(registry, "interactive", value)
+        histogram = registry.histogram(WAIT, labelnames=("priority",))
+        snap = registry.snapshot()
+        for q in (0.5, 0.95, 1.0):
+            assert histogram_quantile(
+                snap, WAIT, q, {"priority": "interactive"}) == pytest.approx(
+                    histogram.quantile(q, priority="interactive"))
+
+    def test_missing_metric_is_zero(self):
+        assert counter_total({}, "nope") == 0.0
+        assert histogram_quantile({}, "nope", 0.95) == 0.0
+
+    def test_stage_profile_shares(self):
+        registry = gateway_registry()
+        stages = registry.histogram(STAGE_METRIC, labelnames=("stage",))
+        stages.observe(0.3, stage="encode")
+        stages.observe(0.1, stage="forward")
+        profile = stage_profile(registry.snapshot())
+        assert list(profile)[0] == "encode"
+        assert profile["encode"]["share"] == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# Objectives.
+# ----------------------------------------------------------------------
+class TestObjectives:
+    def test_latency_quantile_pass_and_fail(self):
+        registry = gateway_registry()
+        observe_wait(registry, "interactive", 0.01, times=20)
+        snap = registry.snapshot()
+        slo = LatencyQuantileSLO(name="p95", threshold_s=0.1,
+                                 priority="interactive")
+        assert slo.evaluate(snap).ok
+        observe_wait(registry, "interactive", 2.0, times=20)
+        check = slo.evaluate(registry.snapshot())
+        assert not check.ok
+        assert check.burn > 1.0
+
+    def test_latency_vacuous_without_observations(self):
+        check = LatencyQuantileSLO(name="p95", threshold_s=0.1).evaluate(
+            gateway_registry().snapshot())
+        assert check.ok
+        assert "vacuous" in check.detail
+
+    def test_zero_budget_shed_rate_burns_infinite(self):
+        registry = gateway_registry()
+        registry.counter("repro_gateway_submitted_total",
+                         labelnames=("tenant", "priority")).inc(
+            10, tenant="a", priority="interactive")
+        registry.counter("repro_gateway_shed_total",
+                         labelnames=("tenant", "priority", "reason")).inc(
+            1, tenant="a", priority="interactive", reason="queue-full")
+        check = shed_rate_slo("interactive", 0.0).evaluate(
+            registry.snapshot())
+        assert not check.ok
+        assert check.burn == float("inf")
+
+    def test_deadline_miss_ratio(self):
+        registry = gateway_registry()
+        registry.counter("repro_gateway_completed_total",
+                         labelnames=("tenant", "priority")).inc(
+            10, tenant="a", priority="batch")
+        registry.counter("repro_gateway_deadline_misses_total",
+                         labelnames=("tenant", "priority")).inc(
+            4, tenant="a", priority="batch")
+        assert deadline_miss_slo(0.5).evaluate(registry.snapshot()).ok
+        assert not deadline_miss_slo(0.3).evaluate(
+            registry.snapshot()).ok
+
+    def test_recovery_time_bound(self):
+        registry = MetricsRegistry()
+        recovery = registry.histogram("repro_recovery_seconds")
+        recovery.observe(0.5)
+        snap = registry.snapshot()
+        assert RecoveryTimeSLO(name="rec", threshold_s=5.0).evaluate(
+            snap).ok
+        assert not RecoveryTimeSLO(name="rec",
+                                   threshold_s=0.01).evaluate(snap).ok
+
+
+# ----------------------------------------------------------------------
+# Multi-window evaluation + report.
+# ----------------------------------------------------------------------
+class TestEvaluate:
+    def spiky_snapshots(self):
+        """4 windows; one has a latency spike the full span averages away."""
+        registry = gateway_registry()
+        stages = registry.histogram(STAGE_METRIC, labelnames=("stage",))
+        snapshots = [registry.snapshot()]
+        for window in range(4):
+            observe_wait(registry, "interactive", 0.001, times=25)
+            if window == 2:
+                # A thin slow tail: dominates window 2's p95 (28 obs, 3
+                # slow → rank 26.6 lands in the 1s bucket) but stays
+                # under the full span's p95 (103 obs, 3 slow).
+                observe_wait(registry, "interactive", 1.0, times=3)
+            stages.observe(0.2 if window == 2 else 0.01, stage="forward")
+            stages.observe(0.005, stage="encode")
+            snapshots.append(registry.snapshot())
+        return snapshots
+
+    def test_burn_alert_fires_on_spike_window(self):
+        spec = SLOSpec(name="spiky", objectives=(
+            LatencyQuantileSLO(name="p95", threshold_s=0.5, quantile=0.95,
+                               priority="interactive"),
+        ), fast_burn=2.0)
+        verdict = evaluate(spec, self.spiky_snapshots())
+        # Full span passes (75% of observations are fast)...
+        assert verdict.ok
+        # ...but the spike window burned ≥ 2× its budget.
+        assert verdict.burn_alerts == 1
+        result = verdict.results[0]
+        assert max(result.window_burns) > 1.0
+        assert result.window_burns[0] < 0.1
+
+    def test_violation_is_stage_attributed(self):
+        spec = SLOSpec(name="tight", objectives=(
+            LatencyQuantileSLO(name="p95", threshold_s=1e-5,
+                               quantile=0.95, priority="interactive"),
+        ))
+        verdict = evaluate(spec, self.spiky_snapshots())
+        assert not verdict.ok
+        result = verdict.results[0]
+        assert result.attribution is not None
+        stage, share = result.attribution
+        assert stage == "forward"
+        assert share > 0.5
+
+    def test_needs_two_snapshots(self):
+        with pytest.raises(ValueError):
+            evaluate(SLOSpec(name="x"), [gateway_registry().snapshot()])
+
+    def test_report_and_jsonable(self):
+        spec = SLOSpec(name="spiky", objectives=(
+            LatencyQuantileSLO(name="p95", threshold_s=0.5,
+                               priority="interactive"),
+            shed_rate_slo("interactive", 0.0),
+        ), fast_burn=2.0)
+        verdict = evaluate(spec, self.spiky_snapshots())
+        report = render_report([verdict])
+        assert "[spiky] OK" in report
+        assert "p95" in report
+        payload = verdict.to_jsonable()
+        assert payload["spec"] == "spiky"
+        assert len(payload["objectives"]) == 2
+        assert payload["stage_profile"]
