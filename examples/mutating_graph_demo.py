@@ -25,6 +25,7 @@ from repro.datasets import Dataset, load_dataset
 from repro.graph import GraphUpdate
 from repro.graph.sampling import random_walk_neighborhood
 from repro.serving import PromptServer
+from repro.shard import ShardedGraphStore
 
 NUM_SESSIONS = 3
 QUERIES_PER_SESSION = 8
@@ -63,6 +64,30 @@ def main() -> None:
                                       np.random.default_rng(5))
     assert np.array_equal(sample, expect)
     print("sampling over the overlay == from-scratch rebuild: OK")
+
+    # Tiered compaction: rows the sampler keeps re-reading are promoted
+    # into contiguous side storage (read-transparent — same rows, back on
+    # the fused gather path); a later write would demote them again.
+    adj = graph.undirected_adjacency
+    everything = np.arange(graph.num_nodes, dtype=np.int64)
+    for _ in range(3):
+        adj.gather_neighbors(everything)
+    tiers = adj.overlay_stats()
+    print(f"tiering: {tiers['promoted_rows']} hot dirty rows promoted "
+          f"({tiers['promotions']} promotions, "
+          f"{tiers['demotions']} demotions, "
+          f"{tiers['side_slots']} side slots)")
+
+    # Halo row cache: a 2-shard store over the same mutated graph pulls
+    # each remote row once; the repeat pass is answered locally.
+    store = ShardedGraphStore.from_graph(graph, 2, "greedy")
+    frontier = rng.integers(0, graph.num_nodes, 64)
+    store.gather_neighbors(frontier)  # cold pass fills the cache
+    store.gather_neighbors(frontier)  # warm pass: pure hits
+    cache = store.cache_stats()
+    print(f"halo cache: {cache['hits']} hits / {cache['misses']} misses, "
+          f"{cache['cached_rows']} rows cached, "
+          f"{cache['invalidations']} epoch flushes")
 
     graph.compact()
     assert graph.overlay_fraction == 0.0

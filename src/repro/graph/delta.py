@@ -37,6 +37,23 @@ reference edges by id never dangle.
 ``compact()`` (driven by the Graph once the overlay exceeds
 ``compact_threshold``) folds tombstones and deltas back into a clean base,
 after which reads take the zero-overhead fast paths again.
+
+Tiered compaction (LSM-style)
+-----------------------------
+Per-row assembly makes a dirty row ~50x more expensive to read than a
+clean one, and ``gather_neighbors`` historically dropped the *whole*
+frontier to that path when any member was dirty.  The overlay therefore
+tiers rows by temperature: every dirty-row read bumps a per-row counter
+(any write to the row resets it), and once a row accrues
+``promote_after`` reads its canonical content is re-materialised into a
+contiguous **side store** (``_side_dst`` / ``_side_eid``).  Promoted rows
+read as pure slices again, and a frontier whose dirty rows are all
+promoted is gathered with one fused scatter over base + side storage —
+no Python per-row loop.  Writes demote (the side copy is dropped and the
+row returns to the delta tier), so write-heavy rows never pay the
+re-materialisation churn.  Promotion is read-transparent: a promoted row
+is bit-identical to its assembled delta form, which the differential
+suites assert at every step.
 """
 
 from __future__ import annotations
@@ -54,6 +71,23 @@ _EMPTY = np.empty(0, dtype=np.int64)
 
 def _as_ids(values) -> np.ndarray:
     return np.asarray(values, dtype=np.int64).reshape(-1)
+
+
+def _scatter_rows(src: np.ndarray, starts: np.ndarray, lens: np.ndarray,
+                  out: np.ndarray, out_starts: np.ndarray) -> None:
+    """Copy ``src[starts[i]:starts[i]+lens[i]]`` into
+    ``out[out_starts[i]:out_starts[i]+lens[i]]`` for all ``i`` with three
+    vector kernels (same repeat trick as ``gather_csr_rows``)."""
+    if starts.size == 0:
+        return
+    cum = np.cumsum(lens)
+    total = int(cum[-1])
+    if total == 0:
+        return
+    inner = cum - lens  # exclusive prefix: segment start in flat space
+    flat = np.arange(total, dtype=np.int64)
+    out[flat + np.repeat(out_starts - inner, lens)] = (
+        src[flat + np.repeat(starts - inner, lens)])
 
 
 @dataclass(frozen=True)
@@ -119,6 +153,21 @@ class DeltaAdjacency:
         self._num_dead = 0
         self._num_delta = 0
         self._scratch_pool: list[np.ndarray] = []
+        # --- tiered compaction (see module docstring) -----------------
+        #: Master switch for read-driven promotion (benchmarks compare
+        #: against the pure delta tier by flipping this off).
+        self.tier_enabled = True
+        #: Dirty-row reads before promotion; any write resets the count.
+        self.promote_after = 2
+        self._reads = np.zeros(self.num_nodes, dtype=np.int64)
+        self._side_start = np.full(self.num_nodes, -1, dtype=np.int64)
+        self._side_len = np.zeros(self.num_nodes, dtype=np.int64)
+        self._side_dst = _EMPTY
+        self._side_eid = _EMPTY   # directed view only (neighbor_edges)
+        self._side_used = 0
+        self._side_garbage = 0
+        self._promotions = 0
+        self._demotions = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -208,7 +257,115 @@ class DeltaAdjacency:
             "dead_slots": self._num_dead,
             "delta_slots": self._num_delta,
             "fraction": self.overlay_fraction(),
+            "promoted_rows": int((self._side_start >= 0).sum()),
+            "promotions": self._promotions,
+            "demotions": self._demotions,
+            "side_slots": self._side_used - self._side_garbage,
         }
+
+    # ------------------------------------------------------------------
+    # Tiered compaction (promotion / demotion of hot dirty rows)
+    # ------------------------------------------------------------------
+    def _assemble_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical ``(dst, eid)`` of a dirty row; directed view only."""
+        base = self.base
+        dst_parts: list[np.ndarray] = []
+        eid_parts: list[np.ndarray] = []
+        if node < base.num_nodes:
+            lo, hi = int(base.indptr[node]), int(base.indptr[node + 1])
+            seg_dst, seg_eid = base.indices[lo:hi], base.edge_ids[lo:hi]
+            if self._alive is not None:
+                keep = self._alive[lo:hi]
+                seg_dst, seg_eid = seg_dst[keep], seg_eid[keep]
+            dst_parts.append(seg_dst)
+            eid_parts.append(seg_eid)
+        entry = self._delta[0].get(node)
+        if entry is not None and entry[0]:
+            dst_parts.append(np.array(entry[0], dtype=np.int64))
+            eid_parts.append(np.array(entry[1], dtype=np.int64))
+        if not dst_parts:
+            return _EMPTY, _EMPTY
+        return np.concatenate(dst_parts), np.concatenate(eid_parts)
+
+    def _side_reserve(self, length: int) -> int:
+        """Reserve ``length`` side-store slots; returns their start."""
+        need = self._side_used + length
+        if need > self._side_dst.size:
+            cap = max(64, 2 * self._side_dst.size, need)
+            buf = np.empty(cap, dtype=np.int64)
+            buf[:self._side_used] = self._side_dst[:self._side_used]
+            self._side_dst = buf
+            if self.lane_mid is None:
+                ebuf = np.empty(cap, dtype=np.int64)
+                ebuf[:self._side_used] = self._side_eid[:self._side_used]
+                self._side_eid = ebuf
+        start = self._side_used
+        self._side_used = need
+        return start
+
+    def _promote(self, node: int) -> None:
+        """Re-materialise a hot dirty row into the contiguous side store."""
+        if self.lane_mid is None:
+            dst, eid = self._assemble_edges(node)
+        else:
+            parts = self._assemble(node)
+            dst = np.concatenate(parts) if parts else _EMPTY
+            eid = None
+        length = int(dst.size)
+        start = self._side_reserve(length)
+        self._side_dst[start:start + length] = dst
+        if eid is not None:
+            self._side_eid[start:start + length] = eid
+        self._side_start[node] = start
+        self._side_len[node] = length
+        self._promotions += 1
+
+    def _note_write(self, row: int) -> None:
+        """A write cools the row: reset its read streak and demote it."""
+        self._reads[row] = 0
+        if self._side_start[row] >= 0:
+            self._side_garbage += int(self._side_len[row])
+            self._side_start[row] = -1
+            self._side_len[row] = 0
+            self._demotions += 1
+            if (self._side_garbage > 1024
+                    and self._side_garbage * 2 > self._side_used):
+                self._repack_side()
+
+    def _repack_side(self) -> None:
+        """Squeeze demoted rows' garbage out of the side store."""
+        live = np.flatnonzero(self._side_start >= 0)
+        starts = self._side_start[live]
+        lens = self._side_len[live]
+        ends = np.cumsum(lens)
+        total = int(ends[-1]) if lens.size else 0
+        out_starts = ends - lens
+        new_dst = np.empty(max(total, 64), dtype=np.int64)
+        _scatter_rows(self._side_dst, starts, lens, new_dst, out_starts)
+        if self.lane_mid is None:
+            new_eid = np.empty(new_dst.size, dtype=np.int64)
+            _scatter_rows(self._side_eid, starts, lens, new_eid, out_starts)
+            self._side_eid = new_eid
+        self._side_dst = new_dst
+        self._side_start[live] = out_starts
+        self._side_used = total
+        self._side_garbage = 0
+
+    def _refresh_dirty(self, row: int) -> None:
+        """Re-derive dirtiness after a row's last delta slot drops.
+
+        Grown rows (no base coverage) and rows with tombstoned base slots
+        stay dirty; a row back at its exact base state regains the slice
+        fast path.
+        """
+        if row >= self.base.num_nodes:
+            return
+        if self._row_dead is not None and self._row_dead[row]:
+            return
+        for lane in self._delta:
+            if row in lane:
+                return
+        self._dirty[row] = False
 
     # ------------------------------------------------------------------
     # Reads (CSRAdjacency-compatible)
@@ -258,6 +415,22 @@ class DeltaAdjacency:
         if not self._dirty[node]:
             base = self.base
             return base.indices[base.indptr[node]:base.indptr[node + 1]]
+        if self.tier_enabled:
+            start = int(self._side_start[node])
+            if start < 0:
+                self._reads[node] += 1
+                if self._reads[node] >= self.promote_after:
+                    self._promote(node)
+                    start = int(self._side_start[node])
+            if start >= 0:
+                return self._side_dst[start:start + int(self._side_len[node])]
+        return self._row(node)
+
+    def _row(self, node: int) -> np.ndarray:
+        """Row of a dirty node without touching the read counters."""
+        start = int(self._side_start[node])
+        if start >= 0:
+            return self._side_dst[start:start + int(self._side_len[node])]
         parts = self._assemble(node)
         if not parts:
             return _EMPTY
@@ -274,23 +447,17 @@ class DeltaAdjacency:
         if not self._dirty[node]:
             lo, hi = base.indptr[node], base.indptr[node + 1]
             return base.indices[lo:hi], base.edge_ids[lo:hi]
-        dst_parts: list[np.ndarray] = []
-        eid_parts: list[np.ndarray] = []
-        if node < base.num_nodes:
-            lo, hi = int(base.indptr[node]), int(base.indptr[node + 1])
-            seg_dst, seg_eid = base.indices[lo:hi], base.edge_ids[lo:hi]
-            if self._alive is not None:
-                keep = self._alive[lo:hi]
-                seg_dst, seg_eid = seg_dst[keep], seg_eid[keep]
-            dst_parts.append(seg_dst)
-            eid_parts.append(seg_eid)
-        entry = self._delta[0].get(node)
-        if entry is not None and entry[0]:
-            dst_parts.append(np.array(entry[0], dtype=np.int64))
-            eid_parts.append(np.array(entry[1], dtype=np.int64))
-        if not dst_parts:
-            return _EMPTY, _EMPTY
-        return np.concatenate(dst_parts), np.concatenate(eid_parts)
+        if self.tier_enabled:
+            start = int(self._side_start[node])
+            if start < 0:
+                self._reads[node] += 1
+                if self._reads[node] >= self.promote_after:
+                    self._promote(node)
+                    start = int(self._side_start[node])
+            if start >= 0:
+                end = start + int(self._side_len[node])
+                return self._side_dst[start:end], self._side_eid[start:end]
+        return self._assemble_edges(node)
 
     def gather_neighbors(self, frontier: np.ndarray) -> np.ndarray:
         """Concatenated rows of ``frontier``, frontier order.
@@ -302,13 +469,51 @@ class DeltaAdjacency:
         frontier = np.asarray(frontier, dtype=np.int64)
         if frontier.size == 0:
             return _EMPTY
-        if not self._dirty[frontier].any():
+        dirty = self._dirty[frontier]
+        if not dirty.any():
             return self.base.gather_neighbors(frontier)
-        rows = [self.neighbors(int(node)) for node in frontier]
+        if self.tier_enabled:
+            hot = frontier[dirty]
+            cold = hot[self._side_start[hot] < 0]
+            if cold.size:
+                np.add.at(self._reads, cold, 1)
+                due = np.unique(
+                    cold[self._reads[cold] >= self.promote_after])
+                for node in due.tolist():
+                    self._promote(node)
+            if (self._side_start[hot] >= 0).all():
+                return self._gather_tiered(frontier, dirty)
+        rows = [self._row(int(node)) if hit else self.neighbors(int(node))
+                for node, hit in zip(frontier, dirty)]
         rows = [row for row in rows if row.size]
         if not rows:
             return _EMPTY
         return np.concatenate(rows)
+
+    def _gather_tiered(self, frontier: np.ndarray,
+                       dirty: np.ndarray) -> np.ndarray:
+        """Fused gather over a mixed frontier: clean rows slice the base
+        CSR, promoted dirty rows slice the side store, both scattered
+        into frontier order with three vector kernels apiece."""
+        base = self.base
+        clean = ~dirty
+        clean_rows = frontier[clean]
+        hot_rows = frontier[dirty]
+        clean_starts = base.indptr[clean_rows]
+        lens = np.empty(frontier.size, dtype=np.int64)
+        lens[clean] = base.indptr[clean_rows + 1] - clean_starts
+        lens[dirty] = self._side_len[hot_rows]
+        ends = np.cumsum(lens)
+        total = int(ends[-1])
+        if total == 0:
+            return _EMPTY
+        out_starts = ends - lens
+        out = np.empty(total, dtype=np.int64)
+        _scatter_rows(base.indices, clean_starts, lens[clean],
+                      out, out_starts[clean])
+        _scatter_rows(self._side_dst, self._side_start[hot_rows],
+                      lens[dirty], out, out_starts[dirty])
+        return out
 
     def degree(self, node: int | None = None):
         """Live row length of ``node``, or the full vector when ``None``."""
@@ -369,6 +574,12 @@ class DeltaAdjacency:
         self.num_nodes += int(count)
         self._dirty = np.concatenate(
             [self._dirty, np.ones(count, dtype=bool)])
+        self._reads = np.concatenate(
+            [self._reads, np.zeros(count, dtype=np.int64)])
+        self._side_start = np.concatenate(
+            [self._side_start, np.full(count, -1, dtype=np.int64)])
+        self._side_len = np.concatenate(
+            [self._side_len, np.zeros(count, dtype=np.int64)])
         # Parked masks are sized to the old graph; drop them now rather
         # than at checkout so the memory goes with them.
         self._scratch_pool.clear()
@@ -382,6 +593,7 @@ class DeltaAdjacency:
         self._delta_loc[(eid, lane)] = row
         self._dirty[row] = True
         self._num_delta += 1
+        self._note_write(row)
 
     def remove_slot(self, eid: int, lane: int = 0) -> None:
         """Kill the slot carrying ``eid`` in ``lane`` (delta or tombstone)."""
@@ -393,6 +605,13 @@ class DeltaAdjacency:
             del dsts[index]
             del eids[index]
             self._num_delta -= 1
+            if not dsts:
+                # Removing the row's last delta slot may return it to its
+                # clean base state; keeping the empty entry used to leave
+                # the row dirty forever (stale-dirty-row bug).
+                del self._delta[lane][row]
+                self._refresh_dirty(row)
+            self._note_write(row)
             return
         self._ensure_slot_map()
         slot = -1
@@ -409,6 +628,7 @@ class DeltaAdjacency:
         self._row_dead[row] += 1
         self._dirty[row] = True
         self._num_dead += 1
+        self._note_write(row)
 
     def _ensure_slot_map(self) -> None:
         """Lazily invert ``slot -> eid`` into per-lane ``eid -> slot``."""

@@ -122,6 +122,13 @@ class Graph:
         #: tombstones) exceeds this fraction of the live slots, the next
         #: mutation rebuilds clean CSR bases.  ``None`` = manual only.
         self.compact_threshold: float | None = None
+        #: Tiered-compaction knobs, forwarded to every overlay this graph
+        #: builds (including rebuilds after :meth:`compact`): read-hot
+        #: dirty rows are re-materialised into contiguous side storage
+        #: after ``tier_promote_after`` reads so frontier gathers stay
+        #: vectorised; ``tier_enabled=False`` pins the pure delta tier.
+        self.tier_enabled = True
+        self.tier_promote_after = 2
         self._mutated = False
         self._compactions = 0
 
@@ -159,8 +166,8 @@ class Graph:
         if self._adj is None:
             if self._mutated:
                 src, dst, _, eids = self.live_edges()
-                self._adj = DeltaAdjacency.directed(
-                    self.num_nodes, src, dst, eids, id_space=self.num_edges)
+                self._adj = self._tuned(DeltaAdjacency.directed(
+                    self.num_nodes, src, dst, eids, id_space=self.num_edges))
             else:
                 self._adj = CSRAdjacency(self.num_nodes, self.src, self.dst)
         return self._adj
@@ -179,8 +186,8 @@ class Graph:
         if self._undirected_adj is None:
             if self._mutated:
                 src, dst, _, eids = self.live_edges()
-                self._undirected_adj = DeltaAdjacency.undirected(
-                    self.num_nodes, src, dst, eids, id_space=self.num_edges)
+                self._undirected_adj = self._tuned(DeltaAdjacency.undirected(
+                    self.num_nodes, src, dst, eids, id_space=self.num_edges))
             else:
                 both_src = np.concatenate([self.src, self.dst])
                 both_dst = np.concatenate([self.dst, self.src])
@@ -235,6 +242,12 @@ class Graph:
         keep = self.edge_alive
         return self.src[keep], self.dst[keep], self.rel[keep], eids[keep]
 
+    def _tuned(self, adj: DeltaAdjacency) -> DeltaAdjacency:
+        """Forward the graph-level tiering knobs to a fresh overlay."""
+        adj.tier_enabled = self.tier_enabled
+        adj.promote_after = self.tier_promote_after
+        return adj
+
     def _promote_overlays(self) -> None:
         """Wrap plain CSR caches into delta overlays before the first write.
 
@@ -246,11 +259,11 @@ class Graph:
             return
         self._mutated = True
         if isinstance(self._adj, CSRAdjacency):
-            self._adj = DeltaAdjacency.wrap_directed(self._adj,
-                                                     self.num_edges)
+            self._adj = self._tuned(
+                DeltaAdjacency.wrap_directed(self._adj, self.num_edges))
         if isinstance(self._undirected_adj, CSRAdjacency):
-            self._undirected_adj = DeltaAdjacency.wrap_undirected(
-                self._undirected_adj, self.src, self.num_edges)
+            self._undirected_adj = self._tuned(DeltaAdjacency.wrap_undirected(
+                self._undirected_adj, self.src, self.num_edges))
 
     def add_nodes(self, node_features: np.ndarray,
                   node_labels: np.ndarray | None = None) -> np.ndarray:
@@ -426,11 +439,11 @@ class Graph:
             return
         src, dst, _, eids = self.live_edges()
         if self._adj is not None:
-            self._adj = DeltaAdjacency.directed(
-                self.num_nodes, src, dst, eids, id_space=self.num_edges)
+            self._adj = self._tuned(DeltaAdjacency.directed(
+                self.num_nodes, src, dst, eids, id_space=self.num_edges))
         if self._undirected_adj is not None:
-            self._undirected_adj = DeltaAdjacency.undirected(
-                self.num_nodes, src, dst, eids, id_space=self.num_edges)
+            self._undirected_adj = self._tuned(DeltaAdjacency.undirected(
+                self.num_nodes, src, dst, eids, id_space=self.num_edges))
         self._compactions += 1
 
     def __repr__(self) -> str:

@@ -269,6 +269,14 @@ def _random_walk_vectorized(graph, seeds, num_hops, max_nodes, rng) -> np.ndarra
     row_of = adj.neighbors
     draw = rng.integers
     append = collected.append
+    # The walk fetches one row at a time, so on a sharded adjacency the
+    # seed rows would each pay their own round-trip; providers exposing
+    # ``prefetch_rows`` (the sharded store's halo cache) absorb them in
+    # one grouped fetch instead.  BFS needs no equivalent — its first
+    # hop is already a single fused frontier gather.
+    prefetch = getattr(adj, "prefetch_rows", None)
+    if prefetch is not None:
+        prefetch(start)
     try:
         for seed in seeds:
             current = int(seed)

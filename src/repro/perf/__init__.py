@@ -19,6 +19,12 @@ Usage::
     python -m repro bench                  # full + quick → BENCH_hotpaths.json
     python -m repro bench --quick          # CI-scale profile only
     python -m repro bench --quick --baseline BENCH_hotpaths.json
+    python -m repro bench --profile mutate --floor mutation_sampling_bfs=0.8
+
+``--floor NAME=VALUE`` gates a benchmark's speedup ratio against an
+absolute minimum: unlike ``--baseline`` (which tracks whatever numbers
+were last recorded) a floor cannot drift downward when the baseline is
+regenerated.
 """
 
 from __future__ import annotations
@@ -108,12 +114,29 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=1.5,
         help="allowed speedup-ratio slack vs. the baseline "
              "(default: %(default)s)")
+    parser.add_argument(
+        "--floor", action="append", default=[], metavar="NAME=VALUE",
+        help="absolute gate: require benchmark NAME's speedup ratio to "
+             "stay at or above VALUE (repeatable); exit 1 when it does "
+             "not — unlike --baseline this does not drift with the "
+             "recorded numbers")
     return parser
 
 
 def bench_main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro bench``."""
     args = build_bench_parser().parse_args(argv)
+    floors: dict[str, float] = {}
+    for spec in args.floor:
+        name, sep, value = spec.partition("=")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            floors[name] = float(value)
+        except ValueError:
+            print(f"--floor expects NAME=VALUE, got {spec!r}",
+                  file=sys.stderr)
+            return 2
     if args.profile:
         profiles = [args.profile]
     elif args.quick:
@@ -200,4 +223,30 @@ def bench_main(argv: list[str] | None = None) -> int:
             return 1
         print(f"[no perf regressions vs. {args.baseline} "
               f"(tolerance {args.tolerance:g}x)]")
+
+    if floors:
+        floor_failures = []
+        for bench_name, minimum in floors.items():
+            matched = False
+            for profile, result in results.items():
+                entry = result["benchmarks"].get(bench_name)
+                if entry is None:
+                    continue
+                matched = True
+                speedup = entry.get("speedup")
+                if speedup is None or speedup < minimum:
+                    shown = ("missing" if speedup is None
+                             else f"{speedup:.3f}x")
+                    floor_failures.append(
+                        f"[{profile}] {bench_name}: speedup {shown} "
+                        f"below floor {minimum:g}x")
+            if not matched:
+                floor_failures.append(
+                    f"{bench_name}: no such benchmark in the profiles "
+                    f"run — check the --floor name")
+        if floor_failures:
+            for failure in floor_failures:
+                print(f"PERF FLOOR: {failure}", file=sys.stderr)
+            return 1
+        print(f"[all {len(floors)} perf floor(s) held]")
     return 0

@@ -346,6 +346,72 @@ def _shard_benchmarks(p: dict) -> dict:
                           "monolithic_s", "sharded_s")
         out[name]["num_shards"] = K
 
+    # Halo row cache: repeated expansion of the same frontier with the
+    # cache disabled (every remote row re-pulled and re-translated per
+    # call) vs. warm (hits answered from the contiguous ghost-row
+    # buffer).  Read-transparent — the equivalence suite asserts the
+    # rows match; this ratio pins the payoff (speedup > 1 expected).
+    store = ShardedGraphStore.from_graph(dense, K, "greedy")
+    frontier = rng_np.integers(0, dense.num_nodes, size=p["bfs_cap"])
+
+    def expand():
+        store.gather_neighbors(frontier)
+
+    store.cache_enabled = False
+    uncached = time_callable(expand, min_runtime_s=p["min_runtime_s"],
+                             repeats=5)
+    store.cache_enabled = True
+    store.reset_counters()
+    expand()  # warm fill outside the timed region
+    cached = time_callable(expand, min_runtime_s=p["min_runtime_s"],
+                           repeats=5)
+    stats = store.cache_stats()
+    halo = _pair(uncached.per_call_s, cached.per_call_s,
+                 "uncached_s", "cached_s")
+    halo["num_shards"] = K
+    halo["frontier_rows"] = int(frontier.size)
+    halo["hit_rate"] = (stats["hits"]
+                        / max(stats["hits"] + stats["misses"], 1))
+    out["shard_halo_cache"] = halo
+
+    # Batched frontier expansion: a micro-batch of concurrent sessions,
+    # each holding its own frontier.  Per-session, every session pays its
+    # own store round-trip (one gather per session — the pre-batching
+    # serving path); batched, one grouped prefetch pulls the union of all
+    # frontiers in a single round-trip per shard, which is what the
+    # router now does ahead of sampling.
+    sessions = p["serve_batch"]
+    rows_per_session = max(1, p["bfs_cap"] // sessions)
+    session_frontiers = [
+        rng_np.integers(0, dense.num_nodes, size=rows_per_session)
+        for _ in range(sessions)
+    ]
+    union = np.concatenate(session_frontiers)
+
+    def per_session():
+        for session_frontier in session_frontiers:
+            store.gather_neighbors(session_frontier)
+
+    def batched():
+        store._cache_reset(store.num_nodes)  # force a cold prefetch
+        store.prefetch_rows(union)
+
+    store.cache_enabled = False
+    per = time_callable(per_session, min_runtime_s=p["min_runtime_s"],
+                        repeats=5)
+    store.cache_enabled = True
+    bat = time_callable(batched, min_runtime_s=p["min_runtime_s"],
+                        repeats=5)
+    frontier_qps = _pair(per.per_call_s, bat.per_call_s,
+                         "per_session_s", "batched_s")
+    frontier_qps["num_shards"] = K
+    frontier_qps["batch_sessions"] = sessions
+    frontier_qps["frontier_rows"] = int(union.size)
+    frontier_qps["batches_per_sec"] = (1.0 / bat.per_call_s
+                                       if bat.per_call_s > 0
+                                       else float("inf"))
+    out["shard_batched_frontier_qps"] = frontier_qps
+
     # Parallel serving: K shards, 1 worker vs. the process pool.
     from ..experiments.serving import replay_workload
 
@@ -446,17 +512,24 @@ def _mutation_benchmarks(p: dict) -> dict:
     # outputs — the differential suite asserts it; this pins the cost).
     clean = _dense_sampling_graph(p)
     clean.undirected_adjacency
-    dirty = clean.rebuild()
-    # Build the CSR *before* mutating: only then do the writes land in a
-    # live overlay.  (Mutating first would let the lazy build fold them
-    # into a clean base and this benchmark would sample zero overlay.)
-    dirty.undirected_adjacency
-    overlay_edges = int(dirty.num_live_edges * p["overlay_fraction"] / 2)
-    rng_np = np.random.default_rng(6)
-    dirty.add_edges(rng_np.integers(0, dirty.num_nodes, size=overlay_edges),
-                    rng_np.integers(0, dirty.num_nodes, size=overlay_edges))
-    dirty.remove_edges(rng_np.choice(clean.num_edges, size=overlay_edges,
-                                     replace=False))
+
+    def make_dirty(tier_enabled: bool):
+        mutated = clean.rebuild()
+        mutated.tier_enabled = tier_enabled
+        # Build the CSR *before* mutating: only then do the writes land in
+        # a live overlay.  (Mutating first would let the lazy build fold
+        # them into a clean base and this benchmark would sample zero
+        # overlay.)
+        mutated.undirected_adjacency
+        count = int(mutated.num_live_edges * p["overlay_fraction"] / 2)
+        mut_rng = np.random.default_rng(6)
+        mutated.add_edges(mut_rng.integers(0, mutated.num_nodes, size=count),
+                          mut_rng.integers(0, mutated.num_nodes, size=count))
+        mutated.remove_edges(mut_rng.choice(clean.num_edges, size=count,
+                                            replace=False))
+        return mutated
+
+    dirty = make_dirty(tier_enabled=True)
     assert dirty.overlay_fraction > 0, "benchmark must sample a live overlay"
     seeds = np.random.default_rng(1).integers(0, clean.num_nodes,
                                               size=p["sample_calls"])
@@ -483,6 +556,25 @@ def _mutation_benchmarks(p: dict) -> dict:
         out[name] = _pair(clean_t.per_call_s, dirty_t.per_call_s,
                           "clean_s", "overlay_s")
         out[name]["overlay_fraction"] = dirty.overlay_fraction
+
+    # Tiered compaction payoff: the same overlay sampled with row
+    # promotion disabled (every dirty row re-assembled per read) vs. the
+    # default tiered path, where hot dirty rows are re-materialized into
+    # contiguous side storage and the frontier gather stays fused.
+    # Outputs are bit-identical — the differential suite asserts it;
+    # this ratio pins what the tier buys (speedup > 1 expected).
+    untiered = make_dirty(tier_enabled=False)
+    delta_t = time_callable(run(untiered, bfs_neighborhood,
+                                p["bfs_hops"], p["bfs_cap"]),
+                            min_runtime_s=p["min_runtime_s"], repeats=5)
+    tiered_t = time_callable(run(dirty, bfs_neighborhood,
+                                 p["bfs_hops"], p["bfs_cap"]),
+                             min_runtime_s=p["min_runtime_s"], repeats=5)
+    tiered = _pair(delta_t.per_call_s, tiered_t.per_call_s,
+                   "delta_only_s", "tiered_s")
+    tier_stats = dirty.undirected_adjacency.overlay_stats()
+    tiered["promoted_rows"] = tier_stats["promoted_rows"]
+    out["mutation_sampling_bfs_tiered"] = tiered
 
     # Compaction: fold the overlay back into clean bases.  Repeatable —
     # compacting an already-clean mutated graph still rebuilds both

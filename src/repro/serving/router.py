@@ -36,6 +36,7 @@ from ..graph.graph import Graph
 from ..nn import no_grad
 from ..obs.tracing import span
 from ..shard import ShardCounters, ShardedGraphStore, WorkerPool
+from .scheduler import batch_seed_nodes
 
 __all__ = ["ShardRouter"]
 
@@ -70,6 +71,11 @@ def _encode_shard_task(context: _WorkerContext, task):
     store.reset_counters()
     store.home_shard = home_shard
     try:
+        # Batched frontier expansion: pull every session's seed rows in
+        # one grouped fetch per shard before sampling, so the per-session
+        # expansions below start from a warm halo cache instead of each
+        # paying its own shard round-trips.
+        store.prefetch_rows(batch_seed_nodes(datapoints))
         subgraphs = context.generator.subgraphs_for(datapoints)
         with no_grad():
             emb = context.model.encode_subgraphs(subgraphs,

@@ -30,20 +30,29 @@ follow-up that turns the same layout into a memory win.
 Counters: while a task for *home shard* ``h`` runs (``home_shard`` set by
 the worker), every row fetch served by a shard ``k != h`` counts as one
 **halo fetch** — the number the serving layer surfaces per shard in
-:class:`~repro.serving.ServerStats`.
+:class:`~repro.serving.ServerStats`.  A fetch is counted once, when the
+row is actually pulled from its owner: the **halo row cache** keeps every
+translated row in a contiguous store keyed to the graph version, so
+repeated frontier expansions over the same region are served locally
+(cache hits) without re-fetching, re-translating, or re-counting.  Any
+:meth:`apply_updates` flushes the cache wholesale — the graph-version
+epoch from the live-update machinery is its invalidation key.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..graph.delta import AppliedUpdate
+from ..graph.delta import AppliedUpdate, _scatter_rows
 from ..graph.graph import Graph
 from .partition import ShardBuildContext, ShardPlan, partition_graph
 
 _U64 = np.uint64
+_EMPTY = np.empty(0, dtype=np.int64)
 
 __all__ = ["ShardCounters", "ShardedGraphStore", "ShardedGraphView"]
 
@@ -86,6 +95,15 @@ class ShardedGraphStore:
         #: worker); fetches served by any other shard count as halo.
         self.home_shard: int | None = None
         self._halo_fetches = 0
+        # Halo row cache: translated (global-id) rows in one contiguous
+        # buffer, keyed by node and flushed on every graph-version bump.
+        self.cache_enabled = True
+        self._cache_reset(self.num_nodes)
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_invalidations = 0
+        self._batched_fetches = 0
+        self._prefetched_rows = 0
         # Live-update plumbing: the graph is the source of truth the
         # touched shards are rebuilt from; the owner/local-id maps become
         # private copies on the first write (the seed plan stays frozen).
@@ -108,8 +126,18 @@ class ShardedGraphStore:
         # monolithic graph alongside the sharded payload would defeat the
         # layout.  Updates stay host-side: the router respawns worker
         # pools after apply_updates instead of routing writes to them.
+        # Workers warm their own halo caches — shipping the host's would
+        # bloat the pickle for rows the worker's home shard never reads.
         state = self.__dict__.copy()
         state["_graph"] = None
+        state["_cache_start"] = np.full(self.num_nodes, -1, dtype=np.int64)
+        state["_cache_len"] = np.zeros(self.num_nodes, dtype=np.int64)
+        state["_cache_buf"] = _EMPTY
+        state["_cache_used"] = 0
+        state["_cache_hits"] = 0
+        state["_cache_misses"] = 0
+        state["_batched_fetches"] = 0
+        state["_prefetched_rows"] = 0
         return state
 
     def view(self) -> "ShardedGraphView":
@@ -125,23 +153,96 @@ class ShardedGraphStore:
 
     def reset_counters(self) -> None:
         self._halo_fetches = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._batched_fetches = 0
+        self._prefetched_rows = 0
 
     def _count(self, serving_shard: int, fetches: int) -> None:
         if self.home_shard is not None and serving_shard != self.home_shard:
             self._halo_fetches += fetches
+
+    def cache_stats(self) -> dict:
+        """Halo-cache ledger (hits/misses since ``reset_counters``)."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "invalidations": self._cache_invalidations,
+            "batched_fetches": self._batched_fetches,
+            "prefetched_rows": self._prefetched_rows,
+            "cached_rows": int((self._cache_start >= 0).sum()),
+            "cached_slots": self._cache_used,
+        }
+
+    # ------------------------------------------------------------------
+    # Halo row cache
+    # ------------------------------------------------------------------
+    def _cache_reset(self, num_nodes: int) -> None:
+        self._cache_start = np.full(num_nodes, -1, dtype=np.int64)
+        self._cache_len = np.zeros(num_nodes, dtype=np.int64)
+        self._cache_buf = _EMPTY
+        self._cache_used = 0
+
+    def _cache_reserve(self, length: int) -> int:
+        """Reserve ``length`` cache slots; returns their start offset."""
+        need = self._cache_used + length
+        if need > self._cache_buf.size:
+            cap = max(256, 2 * self._cache_buf.size, need)
+            buf = np.empty(cap, dtype=np.int64)
+            buf[:self._cache_used] = self._cache_buf[:self._cache_used]
+            self._cache_buf = buf
+        start = self._cache_used
+        self._cache_used = need
+        return start
+
+    def prefetch_rows(self, nodes: np.ndarray) -> int:
+        """Warm the halo cache for ``nodes``, one grouped fetch per shard.
+
+        The batched-frontier entry point: callers holding a micro-batch's
+        worth of seed/frontier nodes pull them all in one shard
+        round-trip, so the per-session expansions that follow are cache
+        hits.  Returns the number of rows actually fetched.
+        """
+        if not self.cache_enabled:
+            return 0
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if nodes.size == 0:
+            return 0
+        missed = nodes[self._cache_start[nodes] < 0]
+        if missed.size == 0:
+            return 0
+        self._batched_fetches += 1
+        self._prefetched_rows += int(missed.size)
+        self.gather_neighbors(missed)
+        return int(missed.size)
 
     # ------------------------------------------------------------------
     # CSRAdjacency-compatible surface (undirected sampling rows)
     # ------------------------------------------------------------------
     def neighbors(self, node: int) -> np.ndarray:
         """Undirected neighbours of ``node``, global ids, monolithic order."""
+        node = int(node)
+        if self.cache_enabled:
+            start = int(self._cache_start[node])
+            if start >= 0:
+                self._cache_hits += 1
+                return self._cache_buf[start:
+                                       start + int(self._cache_len[node])]
         k = int(self.owner[node])
         shard = self.shards[k]
         self._count(k, 1)
         local = self.local_id[node]
         row = shard.csr.indices[shard.csr.indptr[local]:
                                 shard.csr.indptr[local + 1]]
-        return shard.local_nodes[row]
+        row = shard.local_nodes[row]
+        if self.cache_enabled:
+            self._cache_misses += 1
+            length = int(row.size)
+            start = self._cache_reserve(length)
+            self._cache_buf[start:start + length] = row
+            self._cache_start[node] = start
+            self._cache_len[node] = length
+        return row
 
     def gather_neighbors(self, frontier: np.ndarray) -> np.ndarray:
         """Concatenated neighbour rows of ``frontier``, frontier order.
@@ -154,44 +255,88 @@ class ShardedGraphStore:
         frontier = np.asarray(frontier, dtype=np.int64)
         if frontier.size == 0:
             return np.empty(0, dtype=np.int64)
-        owners = self.owner[frontier]
-        locals_ = self.local_id[frontier]
+        if self.cache_enabled:
+            hit = self._cache_start[frontier] >= 0
+        else:
+            hit = np.zeros(frontier.size, dtype=bool)
+        miss = ~hit
+        hit_rows = frontier[hit]
+        miss_rows = frontier[miss]
+        owners = self.owner[miss_rows]
+        locals_ = self.local_id[miss_rows]
         lens = np.empty(frontier.size, dtype=np.int64)
+        lens[hit] = self._cache_len[hit_rows]
+        miss_lens = np.empty(miss_rows.size, dtype=np.int64)
         touched = np.unique(owners)
         for k in touched:
             member = owners == k
             indptr = self.shards[k].csr.indptr
             loc = locals_[member]
-            lens[member] = indptr[loc + 1] - indptr[loc]
+            miss_lens[member] = indptr[loc + 1] - indptr[loc]
+        lens[miss] = miss_lens
         ends = np.cumsum(lens)
         total = int(ends[-1])
         out = np.empty(total, dtype=np.int64)
         starts = ends - lens
+        # Cached rows: one fused scatter straight from the cache store.
+        _scatter_rows(self._cache_buf, self._cache_start[hit_rows],
+                      lens[hit], out, starts[hit])
+        miss_starts = starts[miss]
         for k in touched:
             member = owners == k
             shard = self.shards[k]
             self._count(int(k), int(member.sum()))
             vals = shard.local_nodes[shard.csr.gather_neighbors(
                 locals_[member])]
-            seg_lens = lens[member]
+            seg_lens = miss_lens[member]
             if vals.size == 0:
                 continue
             # Scatter each shard's concatenated rows into the positions of
             # its frontier members (same repeat trick as the CSR gather).
             cum = np.cumsum(seg_lens)
-            shifts = np.repeat(starts[member] - cum + seg_lens, seg_lens)
+            shifts = np.repeat(miss_starts[member] - cum + seg_lens, seg_lens)
             out[np.arange(vals.size, dtype=np.int64) + shifts] = vals
+        if self.cache_enabled:
+            self._cache_hits += int(hit_rows.size)
+            self._cache_misses += int(miss_rows.size)
+            if miss_rows.size:
+                self._cache_insert(miss_rows, miss_starts, miss_lens, out)
         return out
 
+    def _cache_insert(self, rows: np.ndarray, seg_starts: np.ndarray,
+                      seg_lens: np.ndarray, src: np.ndarray) -> None:
+        """Bulk-adopt freshly translated rows (segments of ``src``) into
+        the cache store.  Duplicate rows in one batch simply overwrite
+        their earlier slots — content is identical either way."""
+        total = int(seg_lens.sum())
+        start = self._cache_reserve(total)
+        cum = np.cumsum(seg_lens)
+        new_starts = start + cum - seg_lens
+        _scatter_rows(src, seg_starts, seg_lens, self._cache_buf, new_starts)
+        self._cache_start[rows] = new_starts
+        self._cache_len[rows] = seg_lens
+
     def degree(self, node: int | None = None):
-        """Undirected degree of ``node``, or the full vector when ``None``."""
+        """Undirected degree of ``node``, or the full vector when ``None``.
+
+        Degree reads hit the owner shard's index like any other row fetch
+        and are counted the same way: one halo fetch per remote row (the
+        full-vector form reads every shard's owned rows).  A cached row
+        answers locally — no fetch, no count.
+        """
         if node is not None:
+            node = int(node)
+            if self.cache_enabled and self._cache_start[node] >= 0:
+                self._cache_hits += 1
+                return int(self._cache_len[node])
             k = int(self.owner[node])
             shard = self.shards[k]
+            self._count(k, 1)
             local = self.local_id[node]
             return int(shard.csr.indptr[local + 1] - shard.csr.indptr[local])
         out = np.empty(self.num_nodes, dtype=np.int64)
-        for shard in self.shards:
+        for k, shard in enumerate(self.shards):
+            self._count(k, shard.num_owned)
             out[shard.nodes] = np.diff(shard.csr.indptr)[:shard.num_owned]
         return out
 
@@ -224,7 +369,9 @@ class ShardedGraphStore:
         of the graph); ``greedy`` sends each new node to the shard with
         the fewest owned nodes (ties to the lowest shard id) —
         deterministic, and it keeps growth balanced without reshuffling
-        any existing assignment.
+        any existing assignment.  The greedy path runs on a
+        ``(load, shard_id)`` heap — O(n log K), not O(n·K) — popping the
+        same (lowest-load, lowest-id) shard ``np.argmin`` would pick.
         """
         if self.num_shards == 1:
             return np.zeros(new_nodes.size, dtype=np.int64)
@@ -233,13 +380,14 @@ class ShardedGraphStore:
 
             return (_splitmix64(new_nodes) % _U64(self.num_shards)).astype(
                 np.int64)
-        loads = np.array([shard.num_owned for shard in self.shards],
-                         dtype=np.int64)
+        heap = [(int(shard.num_owned), k)
+                for k, shard in enumerate(self.shards)]
+        heapq.heapify(heap)
         owners = np.empty(new_nodes.size, dtype=np.int64)
         for i in range(new_nodes.size):
-            k = int(np.argmin(loads))
+            load, k = heapq.heappop(heap)
             owners[i] = k
-            loads[k] += 1
+            heapq.heappush(heap, (load + 1, k))
         return owners
 
     def apply_updates(self, applied: AppliedUpdate) -> np.ndarray:
@@ -292,6 +440,10 @@ class ShardedGraphStore:
                 self.shards[k] = shard
                 self._features[k] = graph.node_features[shard.nodes]
         self._scratch_pool.clear()
+        # The halo cache is keyed to the graph version: any applied update
+        # invalidates it wholesale (and resizes it to the grown graph).
+        self._cache_reset(self.num_nodes)
+        self._cache_invalidations += 1
         self._graph_version = applied.version
         return touched_shards
 

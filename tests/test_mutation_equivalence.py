@@ -363,6 +363,169 @@ def test_gather_fast_path_used_on_clean_frontiers():
     assert not adj._dirty[clean_nodes].any()
 
 
+# ----------------------------------------------------------------------
+# Tiered compaction (promotion / demotion) and the halo row cache
+# ----------------------------------------------------------------------
+def test_stale_dirty_row_regression():
+    """add edge -> remove the same edge -> the row must regain the base
+    fast path (the empty delta entry used to pin it dirty forever)."""
+    rng = np.random.default_rng(21)
+    graph = make_base_graph("dense", rng)
+    adj = graph.undirected_adjacency  # plain CSR, promoted on first write
+    u, v = 3, 7
+    eid = int(graph.add_edges([u], [v])[0])
+    adj = graph.undirected_adjacency
+    assert adj._dirty[u] and adj._dirty[v]
+    graph.remove_edges([eid])
+    # Both endpoint rows are back at their exact base state.
+    assert not adj._dirty[u] and not adj._dirty[v]
+    assert not graph.adjacency._dirty[u]
+    # A frontier over them takes the fused base gather, and degree(None)
+    # no longer walks empty delta entries.
+    frontier = np.array([u, v], dtype=np.int64)
+    assert np.array_equal(adj.gather_neighbors(frontier),
+                          adj.base.gather_neighbors(frontier))
+    assert all(not lane for lane in adj._delta)
+    assert_reads_equal(graph, graph.rebuild(), "stale-dirty-row")
+
+
+def test_promoted_row_reads_bit_identical():
+    """Reads repeated past ``promote_after`` re-materialise the row; the
+    promoted copy must read identically on every surface."""
+    rng = np.random.default_rng(22)
+    graph = make_base_graph("dense", rng)
+    graph.adjacency, graph.undirected_adjacency  # build pre-write
+    k = max(graph.num_edges // 10, 8)
+    graph.add_edges(rng.integers(0, graph.num_nodes, size=k),
+                    rng.integers(0, graph.num_nodes, size=k),
+                    rng.integers(0, graph.num_relations, size=k))
+    ref = graph.rebuild()
+    # Two read passes promote every dirty row (promote_after defaults 2).
+    assert_reads_equal(graph, ref, "pass 1 (counting)")
+    assert_reads_equal(graph, ref, "pass 2 (promoting)")
+    adj = graph.undirected_adjacency
+    stats = adj.overlay_stats()
+    assert stats["promotions"] > 0 and stats["promoted_rows"] > 0
+    # Third pass reads come from the side store.
+    assert_reads_equal(graph, ref, "pass 3 (promoted)")
+    assert_sampling_equal(graph, ref, rng, "promoted sampling")
+    assert_induction_equal(graph, ref, rng, "promoted induction")
+    # A frontier mixing clean and promoted rows takes the fused tiered
+    # gather (no per-row fallback) and still matches the rebuild.
+    frontier = np.arange(graph.num_nodes, dtype=np.int64)
+    assert np.array_equal(adj.gather_neighbors(frontier),
+                          ref.undirected_adjacency.gather_neighbors(frontier))
+
+
+def test_promote_then_remove_demotes():
+    """A write to a promoted row drops its side copy; reads stay exact."""
+    rng = np.random.default_rng(23)
+    graph = make_base_graph("dense", rng)
+    adj = graph.undirected_adjacency  # build pre-write, wrapped in place
+    u, v = 2, 9
+    eids = graph.add_edges([u, u], [v, 5])
+    adj = graph.undirected_adjacency
+    for _ in range(3):  # promote row u
+        adj.neighbors(u)
+    assert adj._side_start[u] >= 0
+    before = adj.overlay_stats()["demotions"]
+    graph.remove_edges([int(eids[0])])
+    assert adj._side_start[u] < 0
+    assert adj.overlay_stats()["demotions"] > before
+    assert_reads_equal(graph, graph.rebuild(), "promote-then-remove")
+    # Re-reading re-promotes; still exact.
+    for _ in range(3):
+        adj.neighbors(u)
+    assert adj._side_start[u] >= 0
+    assert_reads_equal(graph, graph.rebuild(), "re-promoted")
+
+
+def test_promote_then_compact():
+    """compact() folds everything into a clean base: tier state resets
+    and reads keep matching the rebuild."""
+    rng = np.random.default_rng(24)
+    graph = make_base_graph("dense", rng)
+    graph.undirected_adjacency  # build pre-write
+    k = max(graph.num_edges // 8, 8)
+    graph.add_edges(rng.integers(0, graph.num_nodes, size=k),
+                    rng.integers(0, graph.num_nodes, size=k))
+    ref = graph.rebuild()
+    assert_reads_equal(graph, ref, "pre-compact pass 1")
+    assert_reads_equal(graph, ref, "pre-compact pass 2")
+    assert graph.undirected_adjacency.overlay_stats()["promoted_rows"] > 0
+    graph.compact()
+    adj = graph.undirected_adjacency
+    stats = adj.overlay_stats()
+    assert stats["promoted_rows"] == 0 and stats["delta_slots"] == 0
+    assert_reads_equal(graph, graph.rebuild(), "post-compact")
+
+
+def test_tier_disabled_matches_enabled():
+    """``tier_enabled=False`` pins the pure delta tier — same reads, no
+    promotions — and the knobs survive a compact()."""
+    rng = np.random.default_rng(25)
+    graph = make_base_graph("dense", rng)
+    graph.tier_enabled = False
+    graph.tier_promote_after = 5
+    for _ in range(4):
+        random_step(graph, rng)
+        ref = graph.rebuild()
+        assert_reads_equal(graph, ref, "tier-disabled")
+    for adj in (graph.adjacency, graph.undirected_adjacency):
+        if isinstance(adj, DeltaAdjacency):
+            assert adj.overlay_stats()["promotions"] == 0
+            assert not adj.tier_enabled and adj.promote_after == 5
+
+
+def test_grown_rows_stay_dirty_and_promotable():
+    """Rows past the base node count never regain the base fast path
+    (there is no base row to slice) but may still be promoted."""
+    rng = np.random.default_rng(26)
+    graph = make_base_graph("tiny", rng)
+    graph.undirected_adjacency  # build pre-write
+    graph.add_edges([0], [1])
+    new = graph.add_nodes(rng.normal(size=(2, graph.feature_dim)), [0, 1])
+    eids = graph.add_edges(new, [0, 1])
+    adj = graph.undirected_adjacency
+    grown = int(new[0])
+    graph.remove_edges([int(eids[0])])  # grown row back to zero slots …
+    assert adj._dirty[grown]            # … but must stay dirty
+    assert adj.neighbors(grown).size == 0
+    for _ in range(3):
+        adj.neighbors(int(new[1]))
+    assert adj._side_start[int(new[1])] >= 0
+    assert_reads_equal(graph, graph.rebuild(), "grown rows")
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_halo_cache_cycle_matches_rebuild(num_shards):
+    """Warm-read / mutate / invalidate cycles: cache-served reads stay
+    bit-identical to a from-scratch rebuild at every step."""
+    rng = np.random.default_rng(27)
+    graph = make_base_graph("dense", rng)
+    store = ShardedGraphStore.from_graph(graph, num_shards, "greedy")
+    for cycle in range(3):
+        frontier = np.arange(graph.num_nodes, dtype=np.int64)
+        store.gather_neighbors(frontier)   # cold: fills the cache
+        warm = store.gather_neighbors(frontier)
+        ref = graph.rebuild()
+        assert np.array_equal(
+            warm, ref.undirected_adjacency.gather_neighbors(frontier))
+        stats = store.cache_stats()
+        assert stats["hits"] >= graph.num_nodes
+        assert stats["invalidations"] == cycle
+        assert_sampling_equal(store.view(), ref,
+                              np.random.default_rng([cycle, num_shards]),
+                              f"cycle {cycle}")
+        _, _, _, live = graph.live_edges()
+        applied = graph.apply_updates(GraphUpdate(
+            add_src=rng.integers(0, graph.num_nodes, size=4),
+            add_dst=rng.integers(0, graph.num_nodes, size=4),
+            remove_edges=rng.choice(live, size=2, replace=False)))
+        store.apply_updates(applied)  # flushes the cache
+        assert store.cache_stats()["cached_rows"] == 0
+
+
 def test_remove_unknown_and_duplicate_edges_raise():
     rng = np.random.default_rng(6)
     graph = make_base_graph("tiny", rng)

@@ -188,6 +188,32 @@ class TestBenchCLI:
         assert code == 1  # impossible baseline still detected...
         assert json.loads(path.read_text()) == baseline  # ...and kept
 
+    def test_bench_floor_gate(self, tmp_path, capsys):
+        # A floor far below any plausible measurement passes and says so.
+        assert cli_main(["bench", "--profile", "smoke", "--no-write",
+                         "--floor", "sampling_bfs=0.0001"]) == 0
+        assert "floor" in capsys.readouterr().out
+        # An impossible floor fails, naming the benchmark — unlike
+        # --baseline, the gate cannot drift when baselines regenerate.
+        assert cli_main(["bench", "--profile", "smoke", "--no-write",
+                         "--floor", "sampling_bfs=1e9"]) == 1
+        err = capsys.readouterr().err
+        assert "PERF FLOOR" in err and "sampling_bfs" in err
+
+    def test_bench_floor_rejects_bad_specs(self, capsys):
+        # Malformed spec: usage error before any benchmark runs.
+        assert cli_main(["bench", "--profile", "smoke", "--no-write",
+                         "--floor", "sampling_bfs"]) == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+        assert cli_main(["bench", "--profile", "smoke", "--no-write",
+                         "--floor", "sampling_bfs=fast"]) == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+        # A floor naming a benchmark that never ran is a failure, not a
+        # silently green gate.
+        assert cli_main(["bench", "--profile", "smoke", "--no-write",
+                         "--floor", "no_such_bench=0.5"]) == 1
+        assert "no such benchmark" in capsys.readouterr().err
+
     def test_bench_listed_in_cli_help(self, capsys):
         assert cli_main(["list"]) == 0
         assert "bench" in capsys.readouterr().out

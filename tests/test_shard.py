@@ -26,6 +26,7 @@ from repro.datasets.synthetic import (
     synthetic_knowledge_graph,
 )
 from repro.graph import EdgeInput
+from repro.graph.delta import GraphUpdate
 from repro.graph.sampling import (
     bfs_neighborhood,
     random_walk_neighborhood,
@@ -183,17 +184,128 @@ class TestShardedStoreSurface:
         assert view.feature_dim == graph.feature_dim
 
     def test_halo_counting(self):
+        """Pins the counter semantics: a halo fetch is a row actually
+        pulled from a remote shard — cache hits are local and free."""
         graph = synthetic_knowledge_graph(80, 3, 400, feature_dim=4, rng=1)
         store = ShardedGraphStore.from_graph(graph, 2, "hash")
+        store.cache_enabled = False
         # No home shard set: nothing counts as halo.
         store.gather_neighbors(np.arange(graph.num_nodes))
         assert store.halo_fetches == 0
         store.home_shard = 0
-        store.gather_neighbors(np.arange(graph.num_nodes))
         remote = int((store.owner != 0).sum())
+        # Cache disabled: every remote row counts on every call.
+        store.gather_neighbors(np.arange(graph.num_nodes))
         assert store.halo_fetches == remote
+        store.gather_neighbors(np.arange(graph.num_nodes))
+        assert store.halo_fetches == 2 * remote
         store.reset_counters()
         assert store.halo_fetches == 0
+        # Cache enabled: the first expansion fetches (and counts) each
+        # remote row once; repeats are cache hits — no new fetches.
+        store.cache_enabled = True
+        store.gather_neighbors(np.arange(graph.num_nodes))
+        assert store.halo_fetches == remote
+        store.gather_neighbors(np.arange(graph.num_nodes))
+        assert store.halo_fetches == remote
+        stats = store.cache_stats()
+        assert stats["misses"] == graph.num_nodes
+        assert stats["hits"] == graph.num_nodes
+        assert stats["cached_rows"] == graph.num_nodes
+
+    def test_degree_counts_halo_fetches(self):
+        """Regression: remote degree lookups used to be invisible in the
+        halo ledger (neither single-node nor full-vector form counted)."""
+        graph = synthetic_knowledge_graph(60, 3, 300, feature_dim=4, rng=3)
+        store = ShardedGraphStore.from_graph(graph, 2, "hash")
+        store.cache_enabled = False
+        store.home_shard = 0
+        local = int(np.flatnonzero(store.owner == 0)[0])
+        remote = int(np.flatnonzero(store.owner != 0)[0])
+        store.degree(local)
+        assert store.halo_fetches == 0
+        store.degree(remote)
+        assert store.halo_fetches == 1
+        store.reset_counters()
+        store.degree()
+        assert store.halo_fetches == int((store.owner != 0).sum())
+        # A cached row answers degree locally: no fetch, no count.
+        store.cache_enabled = True
+        store.reset_counters()
+        store.neighbors(remote)
+        assert store.halo_fetches == 1
+        assert store.degree(remote) == graph.degree(remote)
+        assert store.halo_fetches == 1
+
+    def test_halo_cache_transparent_and_invalidated(self):
+        """Cache-served reads are bit-identical, and any applied update
+        flushes the cache (graph-version epoch invalidation)."""
+        graph = synthetic_knowledge_graph(70, 3, 350, feature_dim=4, rng=5)
+        adj_rows = [graph.undirected_adjacency.neighbors(n).copy()
+                    for n in range(graph.num_nodes)]
+        store = ShardedGraphStore.from_graph(graph, 3, "greedy")
+        frontier = np.arange(graph.num_nodes)
+        cold = store.gather_neighbors(frontier).copy()
+        warm = store.gather_neighbors(frontier)
+        assert np.array_equal(cold, warm)
+        for node in range(graph.num_nodes):
+            assert np.array_equal(store.neighbors(node), adj_rows[node])
+        before = store.cache_stats()
+        assert before["cached_rows"] == graph.num_nodes
+        applied = graph.apply_updates(GraphUpdate(add_src=[0], add_dst=[1]))
+        store.apply_updates(applied)
+        stats = store.cache_stats()
+        assert stats["cached_rows"] == 0
+        assert stats["invalidations"] == before["invalidations"] + 1
+        rebuilt = ShardedGraphStore.from_graph(graph.rebuild(), 3, "greedy")
+        assert np.array_equal(store.gather_neighbors(frontier),
+                              rebuilt.gather_neighbors(frontier))
+
+    def test_prefetch_rows_warms_cache(self):
+        """Batched frontier expansion: one prefetch round-trip makes the
+        per-session expansions that follow pure cache hits."""
+        graph = synthetic_knowledge_graph(80, 3, 400, feature_dim=4, rng=2)
+        store = ShardedGraphStore.from_graph(graph, 3, "greedy")
+        store.home_shard = 0
+        seeds = np.array([1, 17, 33, 17, 64], dtype=np.int64)
+        fetched = store.prefetch_rows(seeds)
+        assert fetched == np.unique(seeds).size
+        after_prefetch = store.halo_fetches
+        stats = store.cache_stats()
+        assert stats["batched_fetches"] == 1
+        assert stats["prefetched_rows"] == np.unique(seeds).size
+        # Per-session reads of the prefetched rows are local now.
+        for seed in seeds:
+            assert np.array_equal(
+                store.neighbors(int(seed)),
+                graph.undirected_adjacency.neighbors(int(seed)))
+        assert store.halo_fetches == after_prefetch
+        # Re-prefetching warm rows is a no-op.
+        assert store.prefetch_rows(seeds) == 0
+        assert store.cache_stats()["batched_fetches"] == 1
+        store.home_shard = None
+
+    def test_assign_owners_deterministic_and_balanced(self):
+        """Greedy owner assignment: heap path must match the argmin
+        semantics (lowest load, ties to lowest shard id) exactly."""
+        graph = synthetic_knowledge_graph(50, 3, 250, feature_dim=4, rng=9)
+        store = ShardedGraphStore.from_graph(graph, 4, "greedy")
+        new_nodes = np.arange(50, 50 + 37, dtype=np.int64)
+        owners = store._assign_owners(new_nodes)
+        assert np.array_equal(owners, store._assign_owners(new_nodes))
+        # Reference: the original O(n*K) argmin greedy loop.
+        loads = np.array([sh.num_owned for sh in store.shards],
+                         dtype=np.int64)
+        expected = np.empty(new_nodes.size, dtype=np.int64)
+        for i in range(new_nodes.size):
+            k = int(np.argmin(loads))
+            expected[i] = k
+            loads[k] += 1
+        assert np.array_equal(owners, expected)
+        # Greedy fills the emptiest shard first, so spread never widens.
+        initial = np.array([sh.num_owned for sh in store.shards])
+        assert loads.max() - loads.min() <= max(
+            int(initial.max() - initial.min()), 1)
 
 
 # ----------------------------------------------------------------------
