@@ -11,9 +11,10 @@ behind :class:`repro.serving.ServingGateway`:
 3. a live graph update mid-stream — queued requests drain first
    (zero drops), then the mutation lands and sessions re-anchor.
 
-Run:  python examples/gateway_demo.py      (~1 min)
+Run:  python examples/gateway_demo.py      (~1 min; --fast for CI scale)
 """
 
+import argparse
 import asyncio
 
 from repro.core import (
@@ -102,6 +103,10 @@ async def main_async(model, dataset, episodes):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI scale: fewer pre-training steps")
+    steps = 30 if parser.parse_args().fast else 200
     config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16,
                                  mutable_graph=True)
     wiki = load_dataset("wiki")
@@ -110,7 +115,7 @@ def main():
     print("pre-training on", wiki.name, "…")
     model = GraphPrompterModel(wiki.graph.feature_dim,
                                wiki.graph.num_relations, config)
-    Pretrainer(model, wiki, PretrainConfig(steps=200, num_ways=8),
+    Pretrainer(model, wiki, PretrainConfig(steps=steps, num_ways=8),
                rng=0).train()
     target = GraphPrompterModel(nell.graph.feature_dim,
                                 nell.graph.num_relations, config)

@@ -9,8 +9,10 @@ session whose subgraphs the mutation touched is refreshed (its
 pseudo-label cache purged as `stale_evictions`) while untouched sessions
 keep their caches, and post-mutation predictions equal a cold rebuild's.
 
-Run:  python examples/mutating_graph_demo.py      (~1 min)
+Run:  python examples/mutating_graph_demo.py      (~1 min; --fast for CI)
 """
+
+import argparse
 
 import numpy as np
 
@@ -32,6 +34,10 @@ QUERIES_PER_SESSION = 8
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI scale: fewer pre-training steps")
+    steps = 20 if parser.parse_args().fast else 60
     rng = np.random.default_rng(0)
     config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16,
                                  mutable_graph=True, compact_threshold=0.15)
@@ -99,7 +105,7 @@ def main() -> None:
     dataset = Dataset(graph, base.task, name="nell-live", rng=0)
     model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
                                config)
-    Pretrainer(model, dataset, PretrainConfig(steps=60),
+    Pretrainer(model, dataset, PretrainConfig(steps=steps),
                rng=0).train()
 
     server = PromptServer(model, dataset, max_batch_size=8, rng=0)

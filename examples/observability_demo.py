@@ -20,9 +20,10 @@ timings, kernel stage profiles — and this demo watches it move:
 Tracing is sampled with a counter, not an RNG, so the predictions here
 are bit-identical to running the same burst untraced.
 
-Run:  python examples/observability_demo.py      (~1 min)
+Run:  python examples/observability_demo.py      (~1 min; --fast for CI)
 """
 
+import argparse
 import asyncio
 import os
 import tempfile
@@ -185,6 +186,10 @@ async def durability_cycle(registry, model, dataset):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI scale: fewer pre-training steps")
+    steps = 30 if parser.parse_args().fast else 200
     config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16,
                                  mutable_graph=True)
     wiki = load_dataset("wiki")
@@ -193,7 +198,7 @@ def main():
     print("pre-training on", wiki.name, "…")
     model = GraphPrompterModel(wiki.graph.feature_dim,
                                wiki.graph.num_relations, config)
-    Pretrainer(model, wiki, PretrainConfig(steps=200, num_ways=8),
+    Pretrainer(model, wiki, PretrainConfig(steps=steps, num_ways=8),
                rng=0).train()
     target = GraphPrompterModel(nell.graph.feature_dim,
                                 nell.graph.num_relations, config)

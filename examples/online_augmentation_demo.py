@@ -5,8 +5,10 @@ state after each step — which pseudo-labelled test samples are held, their
 LFU frequencies, and how accuracy compares with the Augmenter disabled
 (the Sec. IV-C mechanism made visible).
 
-Run:  python examples/online_augmentation_demo.py      (~1 min)
+Run:  python examples/online_augmentation_demo.py      (~1 min; --fast for CI)
 """
+
+import argparse
 
 from repro.core import (
     GraphPrompterConfig,
@@ -51,6 +53,10 @@ def run_with_cache_trace(model, dataset, episode, shots=3, batch=8):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI scale: fewer pre-training steps")
+    steps = 30 if parser.parse_args().fast else 200
     config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16,
                                  cache_size=3)
     wiki = load_dataset("wiki")
@@ -59,7 +65,7 @@ def main():
     print("pre-training on", wiki.name, "…")
     model = GraphPrompterModel(wiki.graph.feature_dim,
                                wiki.graph.num_relations, config)
-    Pretrainer(model, wiki, PretrainConfig(steps=200, num_ways=8),
+    Pretrainer(model, wiki, PretrainConfig(steps=steps, num_ways=8),
                rng=0).train()
 
     target_model = GraphPrompterModel(nell.graph.feature_dim,

@@ -15,9 +15,10 @@ Walks the crash-recovery story end to end:
    request settles with a typed `Unavailable`, tenants fail over to the
    survivor, and serving continues.
 
-Run:  python examples/recovery_demo.py      (~1 min)
+Run:  python examples/recovery_demo.py      (~1 min; --fast for CI scale)
 """
 
+import argparse
 import asyncio
 import tempfile
 
@@ -67,12 +68,16 @@ def serve_round(server, episodes, queries):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI scale: fewer pre-training steps")
+    steps = 30 if parser.parse_args().fast else 120
     config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16,
                                  mutable_graph=True)
     dataset = fresh_dataset()
     model = GraphPrompterModel(dataset.graph.feature_dim,
                                dataset.graph.num_relations, config)
-    Pretrainer(model, dataset, PretrainConfig(steps=120, num_ways=5),
+    Pretrainer(model, dataset, PretrainConfig(steps=steps, num_ways=5),
                rng=0).train()
     episodes = [sample_episode(dataset, num_ways=5, num_queries=QUERIES,
                                rng=100 + i) for i in range(NUM_SESSIONS)]

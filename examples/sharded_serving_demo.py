@@ -6,9 +6,10 @@ same multi-session workload unsharded and sharded and prints the
 per-shard counters (requests routed, halo fetches across shard
 boundaries, worker busy time) — with identical predictions.
 
-Run:  python examples/sharded_serving_demo.py      (~1 min)
+Run:  python examples/sharded_serving_demo.py      (~1 min; --fast for CI)
 """
 
+import argparse
 import time
 
 import numpy as np
@@ -42,6 +43,10 @@ def run_workload(server, episodes):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI scale: fewer pre-training steps")
+    steps = 30 if parser.parse_args().fast else 200
     config = GraphPrompterConfig(hidden_dim=24, max_subgraph_nodes=16)
     wiki = load_dataset("wiki")
     nell = load_dataset("nell")
@@ -68,7 +73,7 @@ def main():
     print("\npre-training on", wiki.name, "…")
     model = GraphPrompterModel(wiki.graph.feature_dim,
                                wiki.graph.num_relations, config)
-    Pretrainer(model, wiki, PretrainConfig(steps=200, num_ways=8),
+    Pretrainer(model, wiki, PretrainConfig(steps=steps, num_ways=8),
                rng=0).train()
     target = GraphPrompterModel(nell.graph.feature_dim,
                                 nell.graph.num_relations, config)

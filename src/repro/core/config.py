@@ -131,6 +131,26 @@ class GraphPrompterConfig:
         instruments plus scrape-time ledger mirrors).  ``False`` gives
         the server a disabled registry: every record path short-circuits
         after one branch.
+    tensor_backend:
+        Compute backend for no-grad inference (:mod:`repro.nn.backend`):
+        ``"numpy"`` (exact reference, bit-identical, the default),
+        ``"fused"`` (sorted-segment reduceat message passing),
+        ``"blocked"`` (threaded row-blocked gemm) or ``"fast"``
+        (fused + blocked).  Training always runs on the exact default
+        path regardless of this setting; non-default backends agree with
+        it to float rounding, not bit-for-bit (see ``docs/backends.md``).
+    inference_dtype:
+        Compute precision of no-grad inference: ``"float64"`` (exact,
+        default) or ``"float32"`` (~1e-6 relative error, roughly half
+        the memory traffic).  Like ``tensor_backend``, scoped to
+        inference only — stored weights stay float64.
+    pool_quantization:
+        At-rest encoding of per-session candidate-pool embeddings:
+        ``"none"`` (float64 ndarray, default) or ``"int8"`` (per-row
+        symmetric scale, ~8x smaller at rest, dequantized per
+        micro-batch on read).  Quantization caps per-element round-trip
+        error at ``row_maxabs / 254`` and is gated by a top-1 agreement
+        suite (``tests/test_backend_equivalence.py``).
     obs_trace_every:
         Deterministic request-trace sampling rate for the serving
         gateway: every N-th submitted request carries a
@@ -178,6 +198,9 @@ class GraphPrompterConfig:
     gateway_deadline_background_s: float = 5.0
     obs_metrics_enabled: bool = True
     obs_trace_every: int = 0
+    tensor_backend: str = "numpy"
+    inference_dtype: str = "float64"
+    pool_quantization: str = "none"
     seed: int = 0
 
     def validate(self) -> "GraphPrompterConfig":
@@ -233,6 +256,14 @@ class GraphPrompterConfig:
                 raise ValueError(f"{name} must be positive")
         if self.obs_trace_every < 0:
             raise ValueError("obs_trace_every must be non-negative")
+        if self.tensor_backend not in ("numpy", "fused", "blocked", "fast"):
+            raise ValueError(f"unknown tensor backend {self.tensor_backend!r}")
+        if self.inference_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"unknown inference dtype {self.inference_dtype!r}")
+        if self.pool_quantization not in ("none", "int8"):
+            raise ValueError(
+                f"unknown pool quantization {self.pool_quantization!r}")
         return self
 
     def ablate(self, **flags) -> "GraphPrompterConfig":

@@ -16,11 +16,15 @@ cache (Eq. 9) — live in :mod:`repro.core.prompt_selector` and
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from ..gnn import DataGraphEncoder, SubgraphBatch, TaskGraphGNN, scatter_mean
 from ..nn import Linear, MLP, Module, Tensor
 from ..nn import functional as F
+from ..nn.backend import make_backend, use_backend
+from ..nn.tensor import is_grad_enabled
 from ..obs.tracing import span
 from .config import GraphPrompterConfig
 from .task_graph import build_task_graph
@@ -91,6 +95,26 @@ class GraphPrompterModel(Module):
         self.task_gnn = TaskGraphGNN(hidden,
                                      num_layers=self.config.num_task_layers,
                                      rng=rng)
+        # Inference compute backend (docs/backends.md).  ``None`` means the
+        # exact default path — no backend scoping, zero overhead.  A
+        # configured backend is activated only around no-grad forwards, so
+        # training is always exact float64 regardless of config.
+        if (self.config.tensor_backend == "numpy"
+                and self.config.inference_dtype == "float64"):
+            self._backend = None
+        else:
+            self._backend = make_backend(self.config.tensor_backend,
+                                         dtype=self.config.inference_dtype)
+
+    def _backend_scope(self):
+        """Context activating the configured inference backend, if any.
+
+        A no-op (null context) on the default config or whenever gradients
+        are being recorded — accelerated backends never see training.
+        """
+        if self._backend is None or is_grad_enabled():
+            return contextlib.nullcontext()
+        return use_backend(self._backend)
 
     # ------------------------------------------------------------------
     # Stage 1 — Prompt Generator (reconstruction)
@@ -127,7 +151,7 @@ class GraphPrompterModel(Module):
 
     def encode_batch(self, batch: SubgraphBatch) -> Tensor:
         """Subgraph embeddings ``G_i`` (Eq. 4), reconstructed when enabled."""
-        with span("forward"):
+        with span("forward"), self._backend_scope():
             weights = None
             if self.config.use_reconstruction:
                 weights = self.reconstruction_weights(batch)
@@ -149,7 +173,8 @@ class GraphPrompterModel(Module):
     # ------------------------------------------------------------------
     def importance(self, embeddings: Tensor) -> Tensor:
         """Prompt importance ``I_p = σ(MLP_θ(G_p))`` (Eq. 5)."""
-        return self.selection_mlp(embeddings).reshape(-1).sigmoid()
+        with self._backend_scope():
+            return self.selection_mlp(embeddings).reshape(-1).sigmoid()
 
     def weight_by_importance(self, embeddings: Tensor,
                              importance: Tensor) -> Tensor:
@@ -175,14 +200,16 @@ class GraphPrompterModel(Module):
             raise ValueError("one label per prompt embedding required")
         graph = build_task_graph(prompt_labels, query_embeddings.shape[0],
                                  num_ways)
-        label_init = scatter_mean(prompt_embeddings, prompt_labels, num_ways)
-        h0 = Tensor.concatenate(
-            [prompt_embeddings, query_embeddings, label_init], axis=0)
-        h = self.task_gnn(h0, graph.src, graph.dst, graph.attr,
-                          graph.num_nodes)
-        query_h = h.gather_rows(graph.query_ids)
-        label_h = h.gather_rows(graph.label_ids)
-        return F.pairwise_cosine(query_h, label_h) * self.config.temperature
+        with self._backend_scope():
+            label_init = scatter_mean(prompt_embeddings, prompt_labels,
+                                      num_ways)
+            h0 = Tensor.concatenate(
+                [prompt_embeddings, query_embeddings, label_init], axis=0)
+            h = self.task_gnn(h0, graph.src, graph.dst, graph.attr,
+                              graph.num_nodes)
+            query_h = h.gather_rows(graph.query_ids)
+            label_h = h.gather_rows(graph.label_ids)
+            return F.pairwise_cosine(query_h, label_h) * self.config.temperature
 
     def predict(self, logits: Tensor) -> tuple[np.ndarray, np.ndarray]:
         """Labels and confidences from episode logits (Eq. 11)."""

@@ -14,9 +14,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Embedding, LayerNorm, Linear, Module, Parameter, Tensor
+from ..nn.backend import get_backend
 from ..nn.tensor import is_grad_enabled
-from .message_passing import (data_of, scatter_sum, scatter_sum_data,
-                              segment_softmax, segment_softmax_data)
+from .message_passing import data_of, scatter_sum, segment_softmax
 
 __all__ = ["TaskGraphGNN", "EDGE_ATTR_PROMPT_TRUE", "EDGE_ATTR_PROMPT_FALSE",
            "EDGE_ATTR_QUERY", "NUM_EDGE_ATTRS"]
@@ -72,20 +72,22 @@ class _TaskAttentionLayer(Module):
         pass; fusing it keeps serving latency dominated by matmuls instead
         of graph bookkeeping.
         """
+        B = get_backend()
         hd = data_of(h)
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
         attr = np.asarray(attr, dtype=np.int64)
-        queries = hd @ self.query_proj.weight.data
-        keys = hd @ self.key_proj.weight.data
-        values = hd @ self.value_proj.weight.data
+        queries = B.matmul(hd, B.param(self.query_proj.weight.data))
+        keys = B.matmul(hd, B.param(self.key_proj.weight.data))
+        values = B.matmul(hd, B.param(self.value_proj.weight.data))
         scale = 1.0 / np.sqrt(self.dim)
         logits = ((queries[dst] * keys[src]).sum(axis=-1) * scale
-                  + self.attr_bias.data[attr])
-        alpha = segment_softmax_data(logits, dst, num_nodes)
-        messages = values[src] + self.attr_embedding.weight.data[attr]
-        weighted = messages * alpha.reshape(-1, 1)
-        aggregated = scatter_sum_data(weighted, dst, num_nodes)
-        out = (aggregated @ self.out_proj.weight.data
-               + self.out_proj.bias.data)
+                  + B.param(self.attr_bias.data)[attr])
+        alpha = B.segment_softmax(logits, dst, num_nodes)
+        messages = values[src] + B.param(self.attr_embedding.weight.data)[attr]
+        aggregated = B.scatter_weighted(messages, alpha, dst, num_nodes)
+        out = (B.matmul(aggregated, B.param(self.out_proj.weight.data))
+               + B.param(self.out_proj.bias.data))
         x = hd + out
         # LayerNorm, mirroring nn.LayerNorm op-for-op (sum/len mean, **0.5).
         mu = x.sum(axis=-1, keepdims=True) / float(x.shape[-1])
@@ -93,7 +95,8 @@ class _TaskAttentionLayer(Module):
         var = ((centered * centered).sum(axis=-1, keepdims=True)
                / float(x.shape[-1]))
         normed = centered / (var + self.norm.eps) ** 0.5
-        return normed * self.norm.gamma.data + self.norm.beta.data
+        return (normed * B.param(self.norm.gamma.data)
+                + B.param(self.norm.beta.data))
 
 
 class TaskGraphGNN(Module):

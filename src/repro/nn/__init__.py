@@ -1,6 +1,20 @@
-"""Numpy-backed neural-network substrate (autograd, layers, optimisers)."""
+"""Numpy-backed neural-network substrate (autograd, layers, optimisers).
+
+Compute kernels are routed through a pluggable backend seam
+(:mod:`repro.nn.backend`): the default backend is bit-identical thinly
+wrapped numpy; accelerated backends (float32, blocked gemm, fused
+message passing) are opt-in per config. See ``docs/backends.md``.
+"""
 
 from . import functional
+from .backend import (
+    Backend,
+    NumpyBackend,
+    get_backend,
+    make_backend,
+    set_backend,
+    use_backend,
+)
 from .layers import (
     Dropout,
     Embedding,
@@ -21,6 +35,12 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "Backend",
+    "NumpyBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "make_backend",
     "functional",
     "Module",
     "Parameter",

@@ -33,8 +33,10 @@ def kaiming_uniform(rng: np.random.Generator, fan_in: int,
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros float64 initialisation."""
     return np.zeros(shape, dtype=np.float64)
 
 
 def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """Gaussian initialisation with mean 0 and the given std."""
     return rng.normal(0.0, std, size=shape)

@@ -50,6 +50,7 @@ class Module:
 
     # -- registration ---------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
         for name, value in vars(self).items():
             if name.startswith("_modules_list"):
                 for i, child in enumerate(value):
@@ -60,9 +61,11 @@ class Module:
                 yield from value.named_parameters(f"{prefix}{name}.")
 
     def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its children."""
         return [p for _, p in self.named_parameters()]
 
     def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
         yield self
         for name, value in vars(self).items():
             if name.startswith("_modules_list"):
@@ -72,30 +75,36 @@ class Module:
                 yield from value.modules()
 
     def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())
 
     # -- training state --------------------------------------------------
     def train(self) -> "Module":
+        """Put this module and all children in training mode."""
         for module in self.modules():
             module.training = True
         return self
 
     def eval(self) -> "Module":
+        """Put this module and all children in inference mode."""
         for module in self.modules():
             module.training = False
         return self
 
     def zero_grad(self) -> None:
+        """Reset the gradient of every parameter."""
         for p in self.parameters():
             p.zero_grad()
 
     # -- serialisation ----------------------------------------------------
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of every parameter array, keyed by dotted name."""
         return OrderedDict(
             (name, param.data.copy()) for name, param in self.named_parameters()
         )
 
     def load_state_dict(self, state: dict) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`."""
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -115,6 +124,7 @@ class Module:
 
     # -- call protocol -----------------------------------------------------
     def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
@@ -125,6 +135,7 @@ class Identity(Module):
     """Pass-through module."""
 
     def forward(self, x: Tensor) -> Tensor:
+        """Return ``x`` unchanged."""
         return x
 
 
@@ -143,6 +154,7 @@ class Linear(Module):
         self.bias = Parameter(init_schemes.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        """Affine map ``x @ weight + bias``."""
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -183,6 +195,7 @@ class MLP(Module):
         ]
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply each layer with the activation between hidden layers."""
         act = _ACTIVATIONS[self.activation]
         last = len(self._modules_list) - 1
         for i, layer in enumerate(self._modules_list):
@@ -202,6 +215,7 @@ class Sequential(Module):
         self._modules_list = list(modules)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply the chained modules in order."""
         for module in self._modules_list:
             x = module(x)
         return x
@@ -227,6 +241,7 @@ class Embedding(Module):
         )
 
     def forward(self, ids: np.ndarray) -> Tensor:
+        """Look up dense vectors for integer ``ids``."""
         ids = np.asarray(ids, dtype=np.int64)
         if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
             raise IndexError(
@@ -248,6 +263,7 @@ class Dropout(Module):
         self._rng = rng or np.random.default_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero entries when training; identity in eval mode."""
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
@@ -266,6 +282,7 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        """Normalise over the last dimension, then scale and shift."""
         mu = x.mean(axis=-1, keepdims=True)
         centered = x - mu
         var = (centered * centered).mean(axis=-1, keepdims=True)

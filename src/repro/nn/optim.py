@@ -27,10 +27,12 @@ class Optimizer:
         self.lr = lr
 
     def zero_grad(self) -> None:
+        """Reset the gradient of every managed parameter."""
         for p in self.parameters:
             p.zero_grad()
 
     def step(self) -> None:
+        """Apply one parameter update; implemented by subclasses."""
         raise NotImplementedError
 
 
@@ -45,6 +47,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        """SGD update with optional momentum and L2 weight decay."""
         for p, v in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
@@ -73,6 +76,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        """Adam update with bias-corrected first and second moments."""
         self._t += 1
         beta1, beta2 = self.betas
         bias1 = 1.0 - beta1**self._t
@@ -105,6 +109,7 @@ class AdamW(Adam):
         self.decoupled_weight_decay = weight_decay
 
     def step(self) -> None:
+        """Apply decoupled weight decay, then the Adam update."""
         if self.decoupled_weight_decay:
             for p in self.parameters:
                 if p.grad is not None:
@@ -124,6 +129,7 @@ class StepLR:
         self._count = 0
 
     def step(self) -> None:
+        """Advance the schedule; decay ``lr`` every ``step_size`` calls."""
         self._count += 1
         if self._count % self.step_size == 0:
             self.optimizer.lr *= self.gamma

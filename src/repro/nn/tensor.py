@@ -10,6 +10,15 @@ scatter primitives that message-passing GNNs are built from.
 Only the operations the rest of the library needs are implemented, each with
 an explicit backward closure.  Gradients are validated against central finite
 differences in ``tests/test_nn_tensor.py``.
+
+Compute-heavy forward kernels (gemm, transcendentals, reductions,
+gather/scatter) are routed through the process-global backend from
+:mod:`repro.nn.backend`.  The default :class:`~repro.nn.backend.NumpyBackend`
+reproduces the exact expressions this module used before the seam existed,
+so default runs stay bit-identical; accelerated backends (float32, blocked
+gemm, fused segment kernels) are opt-in and scoped to no-grad inference by
+the model.  Backward closures always use plain float64 numpy — gradients
+never flow through an accelerated backend.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from . import backend as _backend
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
@@ -74,7 +85,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` ndarray.
+        Array-like payload; converted to an ndarray in the active backend's
+        compute dtype (``float64`` on the default backend).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` during
         :meth:`backward`.
@@ -85,7 +97,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = _backend._ACTIVE.tensor(data)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -97,18 +109,22 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     @property
     def T(self) -> "Tensor":
+        """Transpose (reversed axes), as a differentiable op."""
         return self.transpose()
 
     def __len__(self) -> int:
@@ -123,6 +139,7 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        """The first element as a Python float."""
         return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
@@ -130,6 +147,7 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
         self.grad = None
 
     # ------------------------------------------------------------------
@@ -196,13 +214,13 @@ class Tensor:
         if not _grad_active(self, other):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad, self.shape))
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), _backward)
 
     __radd__ = __add__
 
@@ -212,13 +230,13 @@ class Tensor:
         if not _grad_active(self, other):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad * other.data, self.shape))
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), _backward)
 
     __rmul__ = __mul__
 
@@ -237,7 +255,7 @@ class Tensor:
         if not _grad_active(self, other):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad / other.data, self.shape))
             if other.requires_grad:
@@ -245,7 +263,7 @@ class Tensor:
                     _unbroadcast(-grad * self.data / (other.data**2), other.shape)
                 )
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), _backward)
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other) / self
@@ -257,19 +275,19 @@ class Tensor:
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        out_data = _backend._ACTIVE.matmul(self.data, other.data)
         if not _grad_active(self, other):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 if other.data.ndim == 1:
                     self._accumulate(np.outer(grad, other.data)
@@ -287,116 +305,127 @@ class Tensor:
                     g = self.data.swapaxes(-1, -2) @ grad
                     other._accumulate(_unbroadcast(g, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), _backward)
 
     # ------------------------------------------------------------------
     # Elementwise non-linearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        """Elementwise exponential."""
+        out_data = _backend._ACTIVE.exp(self.data)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        """Elementwise natural logarithm."""
+        out_data = _backend._ACTIVE.log(self.data)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
         return self**0.5
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        """Elementwise logistic sigmoid (inputs clipped to ±60)."""
+        out_data = _backend._ACTIVE.sigmoid(self.data)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        """Elementwise hyperbolic tangent."""
+        out_data = _backend._ACTIVE.tanh(self.data)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def relu(self) -> "Tensor":
+        """Elementwise ``max(x, 0)``."""
         mask = self.data > 0
         out_data = self.data * mask
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        """Elementwise leaky ReLU with the given negative slope."""
         mask = self.data > 0
         scale = np.where(mask, 1.0, negative_slope)
         out_data = self.data * scale
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * scale)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def abs(self) -> "Tensor":
+        """Elementwise absolute value."""
         out_data = np.abs(self.data)
         if not _grad_active(self):
             return Tensor(out_data)
         sign = np.sign(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * sign)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to the given bounds."""
         out_data = np.clip(self.data, low, high)
         if not _grad_active(self):
             return Tensor(out_data)
         mask = (self.data >= low) & (self.data <= high)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        """Sum over ``axis`` (all elements when ``axis`` is None)."""
+        out_data = _backend._ACTIVE.reduce_sum(self.data, axis=axis,
+                                               keepdims=keepdims)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
             g = np.asarray(grad)
@@ -406,9 +435,10 @@ class Tensor:
                     g = np.expand_dims(g, ax)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``."""
         if axis is None:
             count = self.size
         else:
@@ -417,11 +447,13 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        """Maximum over ``axis``."""
+        out_data = _backend._ACTIVE.reduce_max(self.data, axis=axis,
+                                               keepdims=keepdims)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
             g = np.asarray(grad)
@@ -435,25 +467,27 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True)
             self._accumulate(np.broadcast_to(g, self.shape) * mask / counts)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     # ------------------------------------------------------------------
     # Shape manipulation
     # ------------------------------------------------------------------
     def reshape(self, *shape) -> "Tensor":
+        """Same data viewed under a new shape."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(self.shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def transpose(self, *axes) -> "Tensor":
+        """Permute axes (reversed when none are given)."""
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -463,24 +497,24 @@ class Tensor:
             return Tensor(out_data)
         inverse = np.argsort(axes)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     # ------------------------------------------------------------------
     # Gather / scatter — the message-passing primitives
@@ -488,17 +522,17 @@ class Tensor:
     def gather_rows(self, index: np.ndarray) -> "Tensor":
         """Select rows ``self[index]`` (index may repeat), differentiable."""
         index = np.asarray(index, dtype=np.int64)
-        out_data = self.data[index]
+        out_data = _backend._ACTIVE.gather_rows(self.data, index)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     def scatter_add(self, index: np.ndarray, num_targets: int) -> "Tensor":
         """Sum rows of ``self`` into ``num_targets`` buckets by ``index``.
@@ -507,23 +541,22 @@ class Tensor:
         which is exactly the aggregation step of message passing.
         """
         index = np.asarray(index, dtype=np.int64)
-        out_shape = (num_targets,) + self.shape[1:]
-        out_data = np.zeros(out_shape, dtype=np.float64)
-        np.add.at(out_data, index, self.data)
+        out_data = _backend._ACTIVE.scatter_add(self.data, index, num_targets)
         if not _grad_active(self):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad[index])
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), _backward)
 
     # ------------------------------------------------------------------
     # Joining
     # ------------------------------------------------------------------
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate tensors along an existing axis."""
         tensors = [as_tensor(t) for t in tensors]
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
         if not _grad_active(*tensors):
@@ -531,29 +564,30 @@ class Tensor:
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
                 if t.requires_grad:
                     slicer = [slice(None)] * grad.ndim
                     slicer[axis] = slice(start, stop)
                     t._accumulate(grad[tuple(slicer)])
 
-        return Tensor._make(out_data, tensors, backward)
+        return Tensor._make(out_data, tensors, _backward)
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new axis."""
         tensors = [as_tensor(t) for t in tensors]
         out_data = np.stack([t.data for t in tensors], axis=axis)
         if not _grad_active(*tensors):
             return Tensor(out_data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             parts = np.split(grad, len(tensors), axis=axis)
             for t, part in zip(tensors, parts):
                 if t.requires_grad:
                     t._accumulate(np.squeeze(part, axis=axis))
 
-        return Tensor._make(out_data, tensors, backward)
+        return Tensor._make(out_data, tensors, _backward)
 
 
 def as_tensor(value) -> Tensor:

@@ -17,6 +17,12 @@ Benchmarked pairs
   single-pass arena assembly with reused buffers.
 * ``encoding_nograd`` — autodiff-graph encoder forward vs. the fused
   ``no_grad`` numpy forward.
+* ``encoding_fast`` — the fused-numpy no-grad forward vs. the ``"fast"``
+  tensor backend at float32 (CSR-matmul message passing + blocked gemm,
+  see :mod:`repro.nn.backend`), on a serving-shaped fat micro-batch.
+* ``pool_bytes_per_session`` — at-rest candidate-pool bytes, fp64 ndarray
+  vs. int8 per-row-scale quantization (ratio under the ``speedup`` key so
+  the standard floor gate applies; not a timing).
 * ``serving_microbatch`` — end-to-end :class:`~repro.serving.PromptServer`
   queries/sec, per-query serving vs. cross-session micro-batching.
 
@@ -82,6 +88,8 @@ PROFILES = {
                  num_hops=2, max_nodes=48,
                  batch_subgraphs=192, batch_cap=20,
                  encode_subgraphs=16, hidden_dim=32,
+                 fast_subgraphs=64, fast_cap=96, fast_hidden=64,
+                 pool_shots=3,
                  serve_sessions=6, serve_queries=10, serve_batch=16,
                  num_ways=5, min_runtime_s=0.1),
     "quick": dict(sample_nodes=4000, sample_edges=400_000,
@@ -91,6 +99,8 @@ PROFILES = {
                   num_hops=2, max_nodes=48,
                   batch_subgraphs=96, batch_cap=20,
                   encode_subgraphs=16, hidden_dim=32,
+                  fast_subgraphs=48, fast_cap=96, fast_hidden=64,
+                  pool_shots=3,
                   serve_sessions=4, serve_queries=6, serve_batch=16,
                   num_ways=5, min_runtime_s=0.05),
     "smoke": dict(sample_nodes=600, sample_edges=60_000,
@@ -100,6 +110,8 @@ PROFILES = {
                   num_hops=2, max_nodes=24,
                   batch_subgraphs=24, batch_cap=20,
                   encode_subgraphs=8, hidden_dim=16,
+                  fast_subgraphs=16, fast_cap=24, fast_hidden=16,
+                  pool_shots=2,
                   serve_sessions=2, serve_queries=3, serve_batch=4,
                   num_ways=3, min_runtime_s=0.01),
     # Horizontal-scale subsystem (runs the shard benchmarks only).  The
@@ -259,6 +271,86 @@ def _encoding_benchmark(graph, p: dict) -> dict:
     result = _pair(grad.per_call_s, fast.per_call_s, "grad_s", "nograd_s")
     result["subgraphs_per_batch"] = p["encode_subgraphs"]
     return {"encoding_nograd": result}
+
+
+def _encoding_fast_benchmark(graph, p: dict) -> dict:
+    """The accelerated tensor backend vs. the fused-numpy no-grad path.
+
+    Both sides run the same no-grad encoder forward; the fast side swaps
+    in the ``"fast"`` backend (CSR-matmul message passing — sorted-segment
+    reduceat when scipy is absent — plus blocked gemm) at float32.  The workload is larger than
+    ``encoding_nograd``'s — serving-shaped fat micro-batches, where the
+    scatter kernels and gemms dominate Python overhead — because that is
+    the regime the accelerated backend targets.  No environment keys are
+    recorded: the win comes from fused kernels and float32 bandwidth,
+    not threading, so the ratio must hold on 1-core CI runners too.
+    """
+    fp = dict(p, num_hops=2, max_nodes=p["fast_cap"])
+    config = GraphPrompterConfig(hidden_dim=p["fast_hidden"])
+    model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                               config)
+    fast_model = GraphPrompterModel(
+        graph.feature_dim, graph.num_relations,
+        config.ablate(tensor_backend="fast", inference_dtype="float32"))
+    fast_model.load_state_dict(model.state_dict())
+    model.eval()
+    fast_model.eval()
+    batch = SubgraphBatch.from_subgraphs(
+        _make_subgraphs(graph, p["fast_subgraphs"], fp))
+
+    def exact_path():
+        with no_grad():
+            model.encode_batch(batch)
+
+    def fast_path():
+        with no_grad():
+            fast_model.encode_batch(batch)
+
+    exact = time_callable(exact_path, min_runtime_s=p["min_runtime_s"],
+                          repeats=5)
+    fast = time_callable(fast_path, min_runtime_s=p["min_runtime_s"],
+                         repeats=5)
+    result = _pair(exact.per_call_s, fast.per_call_s, "numpy_f64_s",
+                   "fast_f32_s")
+    result["subgraphs_per_batch"] = p["fast_subgraphs"]
+    result["hidden_dim"] = p["fast_hidden"]
+    return {"encoding_fast": result}
+
+
+def _pool_bytes_benchmark(graph, p: dict) -> dict:
+    """At-rest candidate-pool bytes: fp64 ndarray vs. int8 quantized.
+
+    Opens the same session under both ``pool_quantization`` settings and
+    compares :meth:`SessionState.pool_nbytes`.  Reported under the
+    ``speedup`` key as the reduction ratio (fp64 bytes / int8 bytes) so
+    the standard regression gate — and the CI ``--floor`` — apply; a
+    floor of 3.3 is the ≤0.3x-of-fp64 acceptance bound.  Predictions
+    under quantized pools are agreement-gated in
+    ``tests/test_backend_equivalence.py``, not here.
+    """
+    dataset = Dataset(graph, EDGE_TASK, rng=0)
+    episode = sample_episode(dataset, num_ways=p["num_ways"],
+                             num_queries=1, rng=7)
+    sizes = {}
+    for quant in ("none", "int8"):
+        config = GraphPrompterConfig(hidden_dim=p["hidden_dim"],
+                                     max_subgraph_nodes=p["max_nodes"],
+                                     pool_quantization=quant)
+        model = GraphPrompterModel(graph.feature_dim, graph.num_relations,
+                                   config)
+        with PromptServer(model, dataset, rng=0) as server:
+            state = server.open_session("pool-bytes", episode,
+                                        shots=p["pool_shots"])
+            sizes[quant] = state.pool_nbytes()
+            rows, dim = state.candidate_emb.shape
+    return {"pool_bytes_per_session": {
+        "fp64_bytes": sizes["none"],
+        "int8_bytes": sizes["int8"],
+        "speedup": (sizes["none"] / sizes["int8"]
+                    if sizes["int8"] else float("inf")),
+        "pool_rows": rows,
+        "hidden_dim": dim,
+    }}
 
 
 def _serving_benchmark(graph, p: dict) -> dict:
@@ -754,6 +846,8 @@ def run_benchmarks(profile: str = "full") -> dict:
         benchmarks.update(_sampling_benchmarks(p))
         benchmarks.update(_batching_benchmark(p))
         benchmarks.update(_encoding_benchmark(graph, p))
+        benchmarks.update(_encoding_fast_benchmark(graph, p))
+        benchmarks.update(_pool_bytes_benchmark(graph, p))
         benchmarks.update(_serving_benchmark(graph, p))
     return {
         "schema": SCHEMA_VERSION,

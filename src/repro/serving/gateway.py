@@ -77,11 +77,13 @@ class GatewayResult:
 
     @property
     def ok(self) -> bool:
+        """Whether the request resolved successfully end to end."""
         return (self.error is None and self.result is not None
                 and self.result.ok)
 
     @property
     def prediction(self) -> int:
+        """Predicted class id, or -1 when the request failed."""
         return self.result.prediction if self.result is not None else -1
 
 
@@ -153,14 +155,14 @@ class ServingGateway:
             "Class-queue wait before batch release.", ("priority",))
         self._endpoint = None
 
-        def knob(value, default):
+        def _knob(value, default):
             return default if value is None else value
 
-        self.max_queue = knob(max_queue, config.gateway_max_queue)
-        self.max_batch_size = knob(max_batch_size,
+        self.max_queue = _knob(max_queue, config.gateway_max_queue)
+        self.max_batch_size = _knob(max_batch_size,
                                    config.gateway_max_batch_size)
-        self.max_wait_s = knob(max_wait_s, config.gateway_max_wait_s)
-        self.flush_fraction = knob(flush_fraction,
+        self.max_wait_s = _knob(max_wait_s, config.gateway_max_wait_s)
+        self.flush_fraction = _knob(flush_fraction,
                                    config.gateway_flush_fraction)
         #: Deadline budget per priority class (seconds from submit).
         self.deadlines = {
@@ -172,10 +174,10 @@ class ServingGateway:
             self.deadlines.update(deadlines)
         self.admission = AdmissionController(
             max_queue=self.max_queue,
-            tenant_rate_qps=knob(tenant_rate_qps,
+            tenant_rate_qps=_knob(tenant_rate_qps,
                                  config.gateway_tenant_rate_qps),
-            tenant_burst=knob(tenant_burst, config.gateway_tenant_burst),
-            tenant_quota=knob(tenant_quota, config.gateway_tenant_quota),
+            tenant_burst=_knob(tenant_burst, config.gateway_tenant_burst),
+            tenant_quota=_knob(tenant_quota, config.gateway_tenant_quota),
             clock=self.clock)
         self._queues = {
             priority: DeadlineAwareScheduler(
@@ -202,6 +204,7 @@ class ServingGateway:
     # ------------------------------------------------------------------
     def ledger(self, tenant_id: str,
                priority: Priority = Priority.INTERACTIVE) -> TenantLedger:
+        """Get or create the accounting ledger for ``tenant_id``."""
         entry = self._ledgers.get(tenant_id)
         if entry is None:
             entry = TenantLedger(tenant_id=tenant_id, priority=priority)
@@ -265,6 +268,7 @@ class ServingGateway:
         return adopted
 
     def close_session(self, session_id: str):
+        """Drop gateway bookkeeping for the session and close it server-side."""
         self._sessions.pop(session_id, None)
         return self.server.close_session(session_id)
 

@@ -97,6 +97,7 @@ class Overloaded:
 
     @property
     def ok(self) -> bool:
+        """Always False: a shed request never succeeded."""
         return False
 
 
@@ -126,6 +127,7 @@ class Unavailable:
 
     @property
     def ok(self) -> bool:
+        """Always False: the gateway was shutting down."""
         return False
 
 
@@ -212,14 +214,17 @@ class TenantLedger:
 
     @property
     def shed(self) -> int:
+        """Total shed requests across all shed reasons."""
         return self.shed_rate_limited + self.shed_queue_full + self.shed_quota
 
     def record_submit(self, now: float) -> None:
+        """Count one submitted request."""
         self.submitted += 1
         if self.first_submit_at is None:
             self.first_submit_at = now
 
     def record_shed(self, reason: str) -> None:
+        """Count one shed request under its reason bucket."""
         if reason == SHED_RATE_LIMITED:
             self.shed_rate_limited += 1
         elif reason == SHED_QUOTA_EXHAUSTED:
@@ -229,6 +234,7 @@ class TenantLedger:
 
     def record_complete(self, wait_s: float, missed_deadline: bool,
                         now: float) -> None:
+        """Count one completion with its wait time and deadline verdict."""
         self.completed += 1
         self.deadline_misses += int(missed_deadline)
         self.last_complete_at = now
@@ -332,6 +338,7 @@ class AdmissionController:
         self._admitted: dict[str, int] = {}
 
     def bucket(self, tenant_id: str) -> TokenBucket:
+        """Get or create the token bucket for ``tenant_id``."""
         bucket = self._buckets.get(tenant_id)
         if bucket is None:
             bucket = TokenBucket(self.tenant_rate_qps, self.tenant_burst,
@@ -422,6 +429,7 @@ class DeadlineAwareScheduler(MicroBatchScheduler):
         return min(wait_flush, deadline_flush)
 
     def ready(self) -> bool:
+        """Whether the batch should flush (size, age, or deadline pressure)."""
         if super().ready():
             return True
         deadline_flush = self._deadline_flush_at()

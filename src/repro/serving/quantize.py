@@ -1,0 +1,95 @@
+"""Int8 at-rest quantization of candidate-pool embeddings.
+
+A session's candidate pool is written once (at ``open_session`` / refresh)
+and read on every query — and pool bytes, not model bytes, are what cap
+concurrent sessions per host.  :class:`QuantizedPool` stores each pool row
+as int8 codes with one float32 scale per row (symmetric, zero-preserving),
+an ~8x at-rest reduction over the float64 ndarray it replaces, and
+dequantizes into a float work array only for the duration of a micro-batch
+read.
+
+Per-row symmetric quantization bounds the round-trip error of every
+element by ``row_maxabs / 254`` (half a code step of ``scale =
+row_maxabs / 127``), which ``tests/test_backend_equivalence.py`` pins,
+along with top-1 agreement of served predictions against float pools.
+Quantization is opt-in (``config.pool_quantization = "int8"``); the
+default pool representation remains the exact float64 ndarray.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QuantizedPool", "quantize_pool", "pool_data", "pool_nbytes"]
+
+
+class QuantizedPool:
+    """An (n, d) embedding matrix stored as int8 codes + per-row scales.
+
+    Attributes
+    ----------
+    codes:
+        ``(n, d)`` int8 — each row is ``round(row / scale)``.
+    scales:
+        ``(n,)`` float32 — per-row symmetric step ``maxabs / 127``
+        (0.0 for all-zero rows, which decode exactly).
+    dtype:
+        The float dtype rows decode to (the dtype the pool was built
+        from, so quantized serving hands the pipeline the same dtype
+        unquantized serving would).
+    """
+
+    __slots__ = ("codes", "scales", "dtype")
+
+    def __init__(self, codes: np.ndarray, scales: np.ndarray,
+                 dtype=np.float64):
+        self.codes = codes
+        self.scales = scales
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (rows, dim) of the decoded matrix."""
+        return self.codes.shape
+
+    @property
+    def nbytes(self) -> int:
+        """At-rest bytes: int8 codes + float32 scales."""
+        return self.codes.nbytes + self.scales.nbytes
+
+    def dequantize(self) -> np.ndarray:
+        """Decode to a float ``(n, d)`` work array (codes · row scale)."""
+        out = self.codes.astype(self.dtype)
+        out *= self.scales.reshape(-1, 1).astype(self.dtype)
+        return out
+
+
+def quantize_pool(embeddings: np.ndarray) -> QuantizedPool:
+    """Quantize an (n, d) float matrix to int8 with per-row scales.
+
+    Symmetric around zero: ``scale = maxabs / 127``, codes in [-127, 127]
+    (-128 unused, keeping the code space symmetric), so the worst-case
+    per-element round-trip error is ``maxabs / 254``.
+    """
+    embeddings = np.asarray(embeddings)
+    if embeddings.ndim != 2:
+        raise ValueError("quantize_pool expects an (n, d) matrix")
+    maxabs = np.abs(embeddings).max(axis=1) if embeddings.size else \
+        np.zeros(embeddings.shape[0])
+    scales = (maxabs / 127.0).astype(np.float32)
+    safe = np.where(scales > 0, scales, 1.0).astype(np.float64)
+    codes = np.rint(embeddings / safe.reshape(-1, 1)).astype(np.int8)
+    return QuantizedPool(codes, scales, dtype=embeddings.dtype)
+
+
+def pool_data(pool) -> np.ndarray:
+    """A float work array for ``pool`` — ndarray pass-through (no copy)
+    or :class:`QuantizedPool` dequantize-on-read."""
+    if isinstance(pool, QuantizedPool):
+        return pool.dequantize()
+    return pool
+
+
+def pool_nbytes(pool) -> int:
+    """At-rest bytes of either pool representation."""
+    return pool.nbytes

@@ -94,6 +94,7 @@ class ReplicaSet:
         return int(_splitmix64(seed)[0] % np.uint64(len(self.replicas)))
 
     def healthy_replicas(self) -> list[int]:
+        """Indices of replicas whose gateway is still open."""
         return [i for i, gateway in enumerate(self.replicas)
                 if not gateway.closed]
 

@@ -195,4 +195,5 @@ class ShardRouter:
         return tuple(c.snapshot() for c in self.counters)
 
     def close(self) -> None:
+        """Shut down the shard worker pool."""
         self.pool.close()

@@ -58,6 +58,7 @@ from ..persist import (
     episode_to_jsonable,
 )
 from ..shard import ShardCounters
+from .quantize import quantize_pool
 from .router import ShardRouter
 from .scheduler import MicroBatchScheduler, PendingRequest
 from .session import SessionState, SessionStore
@@ -85,6 +86,7 @@ class ServeResult:
 
     @property
     def ok(self) -> bool:
+        """Whether the query completed without error."""
         return self.error is None
 
 
@@ -121,6 +123,7 @@ class ServerStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average encoded subgraphs per batch."""
         return self.encoded_subgraphs / self.batches if self.batches else 0.0
 
     @property
@@ -276,7 +279,7 @@ class PromptServer:
             self.config, rng=np.random.default_rng(self.rng.integers(2**32)))
         state = SessionState(
             session_id=session_id, num_ways=episode.num_ways, shots=shots,
-            candidate_emb=candidate_emb,
+            candidate_emb=self._store_pool(candidate_emb),
             candidate_importance=candidate_importance,
             pool_labels=pool_labels, augmenter=augmenter,
             episode=episode,
@@ -427,13 +430,25 @@ class PromptServer:
         for state in self.sessions.states():
             self._refresh_session(state)
 
+    def _store_pool(self, candidate_emb: np.ndarray):
+        """At-rest representation of a session's pool embeddings.
+
+        The exact float ndarray by default; int8 codes + per-row scales
+        under ``config.pool_quantization = "int8"`` (read back through
+        :meth:`SessionState.pool_embeddings`).
+        """
+        if self.config.pool_quantization == "int8":
+            return quantize_pool(candidate_emb)
+        return candidate_emb
+
     def _refresh_session(self, session: SessionState) -> None:
         """Re-anchor a stale session to the current graph epoch."""
         pool, pool_labels = self.pipeline.select_candidate_pool(
             session.episode, session.shots)
         with scoped_registry(self.obs):
-            session.candidate_emb, session.candidate_importance = (
+            candidate_emb, session.candidate_importance = (
                 self.pipeline.encode_points(pool))
+        session.candidate_emb = self._store_pool(candidate_emb)
         session.pool_labels = pool_labels
         session.augmenter.invalidate()
         session.dependent_nodes = self._dependencies(pool)
@@ -525,7 +540,7 @@ class PromptServer:
             # per-query serving — batching never changes answers.
             with batch_scope([request.trace]), span("predict"):
                 preds, confs, inserted = self.pipeline.predict_batch(
-                    session.candidate_emb, session.candidate_importance,
+                    session.pool_embeddings(), session.candidate_importance,
                     session.pool_labels, emb[i:i + 1],
                     importance[i:i + 1], session.num_ways, session.shots,
                     augmenter=session.augmenter)

@@ -10,7 +10,8 @@ from repro.perf import (PROFILES, baseline_profile_section, check_regression,
 
 EXPECTED_BENCHMARKS = {
     "sampling_bfs", "sampling_random_walk", "batching_arena",
-    "encoding_nograd", "serving_microbatch",
+    "encoding_nograd", "encoding_fast", "pool_bytes_per_session",
+    "serving_microbatch",
 }
 
 

@@ -1,0 +1,114 @@
+"""Offline link checker for the repo's markdown docs.
+
+Walks every markdown file given on the command line (default: README.md
+plus docs/*.md), extracts ``[text](target)`` links, and fails the run
+if any *relative* target is dangling:
+
+* a path target must exist on disk (relative to the linking file);
+* a ``#fragment`` — on its own or after a path — must match a heading
+  in the target document, using GitHub's slug rules (lowercase, spaces
+  to dashes, punctuation dropped, `&` and friends removed);
+* ``http(s)://`` and ``mailto:`` targets are skipped — CI has no
+  business flaking on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).  Run it the way CI does:
+
+    python tools/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — but not images' alt text brackets or footnote refs;
+# nested brackets in the text segment are tolerated by the lazy match.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    # Strip markdown emphasis/code/link syntax, then slugify.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s", "-", text)
+
+
+def headings_of(path: Path) -> set[str]:
+    """All GitHub anchor slugs defined by a markdown file."""
+    slugs: dict[str, int] = {}
+    out: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def links_of(path: Path):
+    """Yield link targets, skipping fenced code blocks and inline code."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        clean = re.sub(r"`[^`]*`", "", line)
+        yield from _LINK.findall(clean)
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken links in one markdown file, as printable messages."""
+    problems = []
+    for target in links_of(path):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+            continue
+        file_part, _, fragment = target.partition("#")
+        dest = (path.parent / file_part).resolve() if file_part else path
+        if file_part and not dest.exists():
+            problems.append(f"{path}: missing target {target!r}")
+            continue
+        if fragment:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown are out of scope
+            if fragment not in headings_of(dest):
+                problems.append(
+                    f"{path}: no heading for anchor {target!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(a) for a in argv] or [
+        Path("README.md"), *sorted(Path("docs").glob("*.md"))]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"no such file: {p}", file=sys.stderr)
+        return 1
+    problems = [msg for p in paths for msg in check_file(p)]
+    for msg in problems:
+        print(msg, file=sys.stderr)
+    print(f"checked {len(paths)} file(s): "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
